@@ -1,0 +1,387 @@
+//! The reverse pass: one adjoint rule per op.
+
+use crate::graph::{gelu_bwd, Graph, Op, Var};
+use focus_tensor::Tensor;
+
+impl Graph {
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// Gradients are accumulated for every node on a path from a
+    /// gradient-requiring leaf to `loss`; read them with [`Graph::grad`].
+    /// Calling `backward` replaces any gradients from a previous call.
+    ///
+    /// # Panics
+    /// If `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss, got shape {}",
+            self.nodes[loss.0].value.shape()
+        );
+        self.grads = vec![None; self.nodes.len()];
+        self.grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.dims(), 1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
+            self.apply_rule(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    /// Accumulates `delta` into the gradient slot of `v`, if `v` needs one.
+    fn accum(&mut self, v: Var, delta: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn apply_rule(&mut self, i: usize, g: &Tensor) {
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accum(a, g.clone());
+                self.accum(b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accum(a, g.clone());
+                self.accum(b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let da = g.mul(&self.nodes[b.0].value);
+                let db = g.mul(&self.nodes[a.0].value);
+                self.accum(a, da);
+                self.accum(b, db);
+            }
+            Op::Neg(a) => self.accum(a, g.scale(-1.0)),
+            Op::Scale(a, c) => self.accum(a, g.scale(c)),
+            Op::AddScalar(a) => self.accum(a, g.clone()),
+            Op::Matmul(a, b) => {
+                // y = a·b  ⇒  da = g·bᵀ, db = aᵀ·g
+                let da = g.matmul_nt(&self.nodes[b.0].value);
+                let db = self.nodes[a.0].value.matmul_tn(g);
+                self.accum(a, da);
+                self.accum(b, db);
+            }
+            Op::Bmm(a, b) => {
+                let da = g.bmm_nt(&self.nodes[b.0].value);
+                let db = self.nodes[a.0].value.bmm_tn(g);
+                self.accum(a, da);
+                self.accum(b, db);
+            }
+            Op::MatmulBroadcastNt(a, x) => {
+                // out[b] = a · x[b]ᵀ, a: [k,d], x: [B,l,d], g: [B,k,l]
+                // da += Σ_b g[b]·x[b];  dx[b] = g[b]ᵀ·a
+                let aval = self.nodes[a.0].value.clone();
+                let xval = self.nodes[x.0].value.clone();
+                let (bsz, l, d) = (xval.dims()[0], xval.dims()[1], xval.dims()[2]);
+                let k = aval.dims()[0];
+                if self.nodes[a.0].requires_grad {
+                    let mut da = Tensor::zeros(&[k, d]);
+                    for b in 0..bsz {
+                        let gb = g.index_axis0(b); // [k, l]
+                        let xb = xval.index_axis0(b); // [l, d]
+                        da.axpy(1.0, &gb.matmul(&xb));
+                    }
+                    self.accum(a, da);
+                }
+                if self.nodes[x.0].requires_grad {
+                    let mut dx = Tensor::zeros(&[bsz, l, d]);
+                    for b in 0..bsz {
+                        let gb = g.index_axis0(b); // [k, l]
+                        let slice = gb.matmul_tn(&aval); // gbᵀ·a → [l, d]
+                        dx.data_mut()[b * l * d..(b + 1) * l * d].copy_from_slice(slice.data());
+                    }
+                    self.accum(x, dx);
+                }
+            }
+            Op::Transpose2(a) => self.accum(a, g.transpose()),
+            Op::TransposeLast2(a) => self.accum(a, g.transpose_last2()),
+            Op::SwapAxes01(a) => self.accum(a, crate::graph::swap01(g)),
+            Op::Reshape(a) => {
+                let dims = self.nodes[a.0].value.dims().to_vec();
+                self.accum(a, g.reshape(&dims));
+            }
+            Op::AddRowBroadcast(x, bias) => {
+                self.accum(x, g.clone());
+                if self.nodes[bias.0].requires_grad {
+                    let n = g.shape().last_dim();
+                    let rows = g.shape().leading();
+                    let mut db = vec![0.0f32; n];
+                    for r in 0..rows {
+                        for (o, &v) in db.iter_mut().zip(&g.data()[r * n..(r + 1) * n]) {
+                            *o += v;
+                        }
+                    }
+                    let dims = self.nodes[bias.0].value.dims().to_vec();
+                    self.accum(bias, Tensor::from_vec(db, &dims));
+                }
+            }
+            Op::SoftmaxLast(a) => {
+                // dx = y ⊙ (g − ⟨g, y⟩_row)
+                let y = &self.nodes[i].value;
+                let n = y.shape().last_dim();
+                let rows = y.shape().leading();
+                let mut dx = Tensor::zeros(y.dims());
+                for r in 0..rows {
+                    let yr = &y.data()[r * n..(r + 1) * n];
+                    let gr = &g.data()[r * n..(r + 1) * n];
+                    let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                    for (o, (yv, gv)) in dx.data_mut()[r * n..(r + 1) * n]
+                        .iter_mut()
+                        .zip(yr.iter().zip(gr))
+                    {
+                        *o = yv * (gv - dot);
+                    }
+                }
+                self.accum(a, dx);
+            }
+            Op::LayerNormLast { x, gamma, beta, cache } => {
+                let xval = self.nodes[x.0].value.clone();
+                let gval = self.nodes[gamma.0].value.clone();
+                let n = xval.shape().last_dim();
+                let rows = xval.shape().leading();
+                let (means, rstds) = cache.split_at(rows);
+
+                let mut dgamma = vec![0.0f32; n];
+                let mut dbeta = vec![0.0f32; n];
+                let mut dx = Tensor::zeros(xval.dims());
+                for r in 0..rows {
+                    let xr = &xval.data()[r * n..(r + 1) * n];
+                    let gr = &g.data()[r * n..(r + 1) * n];
+                    let (mu, rstd) = (means[r], rstds[r]);
+                    // dŷ = g ⊙ γ; accumulate row statistics for dx.
+                    let mut sum_dy = 0.0f32;
+                    let mut sum_dy_xhat = 0.0f32;
+                    for j in 0..n {
+                        let xhat = (xr[j] - mu) * rstd;
+                        let dy = gr[j] * gval.data()[j];
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * xhat;
+                        dgamma[j] += gr[j] * xhat;
+                        dbeta[j] += gr[j];
+                    }
+                    let inv_n = 1.0 / n as f32;
+                    for j in 0..n {
+                        let xhat = (xr[j] - mu) * rstd;
+                        let dy = gr[j] * gval.data()[j];
+                        dx.data_mut()[r * n + j] =
+                            rstd * (dy - sum_dy * inv_n - xhat * sum_dy_xhat * inv_n);
+                    }
+                }
+                self.accum(x, dx);
+                if self.nodes[gamma.0].requires_grad {
+                    let dims = self.nodes[gamma.0].value.dims().to_vec();
+                    self.accum(gamma, Tensor::from_vec(dgamma, &dims));
+                }
+                if self.nodes[beta.0].requires_grad {
+                    let dims = self.nodes[beta.0].value.dims().to_vec();
+                    self.accum(beta, Tensor::from_vec(dbeta, &dims));
+                }
+            }
+            Op::Relu(a) => {
+                let x = &self.nodes[a.0].value;
+                let dx = Tensor::from_vec(
+                    x.data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                        .collect(),
+                    x.dims(),
+                );
+                self.accum(a, dx);
+            }
+            Op::Gelu(a) => {
+                let x = &self.nodes[a.0].value;
+                let dx = Tensor::from_vec(
+                    x.data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(&x, &g)| g * gelu_bwd(x))
+                        .collect(),
+                    x.dims(),
+                );
+                self.accum(a, dx);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let dx = Tensor::from_vec(
+                    y.data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(&y, &g)| g * y * (1.0 - y))
+                        .collect(),
+                    y.dims(),
+                );
+                self.accum(a, dx);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let dx = Tensor::from_vec(
+                    y.data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(&y, &g)| g * (1.0 - y * y))
+                        .collect(),
+                    y.dims(),
+                );
+                self.accum(a, dx);
+            }
+            Op::Abs(a) => {
+                let x = &self.nodes[a.0].value;
+                let dx = Tensor::from_vec(
+                    x.data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(&x, &g)| {
+                            if x > 0.0 {
+                                g
+                            } else if x < 0.0 {
+                                -g
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect(),
+                    x.dims(),
+                );
+                self.accum(a, dx);
+            }
+            Op::ConcatLast(a, b, split) => {
+                let (ga, gb) = g.split_last(split);
+                // split_last keeps the leading dims; reshape to exact input dims
+                // (identical by construction).
+                self.accum(a, ga);
+                self.accum(b, gb);
+            }
+            Op::SliceLast(a, start, end) => {
+                // Scatter the gradient back into a zero tensor of the input
+                // shape.
+                let in_dims = self.nodes[a.0].value.dims().to_vec();
+                let n = *in_dims.last().expect("rank >= 1");
+                let width = end - start;
+                let rows = self.nodes[a.0].value.shape().leading();
+                let mut dx = Tensor::zeros(&in_dims);
+                for r in 0..rows {
+                    dx.data_mut()[r * n + start..r * n + end]
+                        .copy_from_slice(&g.data()[r * width..(r + 1) * width]);
+                }
+                self.accum(a, dx);
+            }
+            Op::MeanAll(a) => {
+                let n = self.nodes[a.0].value.numel();
+                let dims = self.nodes[a.0].value.dims().to_vec();
+                self.accum(a, Tensor::full(&dims, g.item() / n as f32));
+            }
+            Op::SumAll(a) => {
+                let dims = self.nodes[a.0].value.dims().to_vec();
+                self.accum(a, Tensor::full(&dims, g.item()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Graph;
+    use focus_tensor::Tensor;
+
+    #[test]
+    fn linear_regression_gradient() {
+        // L = mean((w·x - y)²); with w = 0, x = [1, 2], y = [1, 2]:
+        // dL/dw = mean over samples of 2(wx−y)x = -(1·1 + 2·2) = -5.
+        let mut g = Graph::new();
+        let w = g.leaf(Tensor::zeros(&[1, 1]));
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let y = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let pred = g.matmul(w, x);
+        let loss = g.mse(pred, y);
+        g.backward(loss);
+        let dw = g.grad(w).unwrap();
+        assert!((dw.data()[0] + 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_paths() {
+        // L = mean(x + x) ⇒ dL/dx = 2/n each.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let s = g.add(x, x);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::ones(&[2]));
+        let p = g.leaf(Tensor::ones(&[2]));
+        let s = g.mul(c, p);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert!(g.grad(c).is_none());
+        assert_eq!(g.grad(p).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn second_backward_replaces_gradients() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let sq = g.mul(x, x);
+        let l1 = g.mean_all(sq);
+        g.backward(l1);
+        let first = g.grad(x).unwrap().data()[0];
+        assert!((first - 4.0).abs() < 1e-6);
+        // Extend the graph and backward from a different loss: gradients are
+        // replaced, not accumulated across calls.
+        let tripled = g.scale(sq, 3.0);
+        let l2 = g.mean_all(tripled);
+        g.backward(l2);
+        let second = g.grad(x).unwrap().data()[0];
+        assert!((second - 12.0).abs() < 1e-6, "got {second}");
+    }
+
+    #[test]
+    fn disconnected_leaf_has_no_gradient() {
+        let mut g = Graph::new();
+        let used = g.leaf(Tensor::ones(&[2]));
+        let unused = g.leaf(Tensor::ones(&[2]));
+        let loss = g.sum_all(used);
+        g.backward(loss);
+        assert!(g.grad(used).is_some());
+        assert!(g.grad(unused).is_none());
+    }
+
+    #[test]
+    fn mae_gradient_is_sign_over_n() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![2.0, -1.0, 0.0], &[3]));
+        let t = g.constant(Tensor::zeros(&[3]));
+        let loss = g.mae(p, t);
+        g.backward(loss);
+        let gr = g.grad(p).unwrap();
+        let third = 1.0 / 3.0;
+        assert!((gr.data()[0] - third).abs() < 1e-6);
+        assert!((gr.data()[1] + third).abs() < 1e-6);
+        assert_eq!(gr.data()[2], 0.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! The tape: node arena, op records and forward evaluation.
+
+use focus_tensor::Tensor;
+
+/// Index of a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// Operation record: which rule produced a node and from which inputs.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// Input tensor (parameter or constant; `requires_grad` on the node
+    /// distinguishes them).
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    /// 2-D `a · b`.
+    Matmul(Var, Var),
+    /// Batched 3-D `a · b`.
+    Bmm(Var, Var),
+    /// `out[b] = a · x[b]ᵀ` with a shared 2-D LHS `a: [k, d]` and a batched
+    /// RHS `x: [B, l, d]`, producing `[B, k, l]`. This is the prototype-query
+    /// score computation of ProtoAttn (Eq. 16) batched over entities.
+    MatmulBroadcastNt(Var, Var),
+    Transpose2(Var),
+    TransposeLast2(Var),
+    /// Swap the first two axes of a rank-3 tensor: `[a, b, c] → [b, a, c]`.
+    SwapAxes01(Var),
+    /// Shape change, data untouched.
+    Reshape(Var),
+    /// `x + bias` where `bias` has the length of `x`'s trailing axis.
+    AddRowBroadcast(Var, Var),
+    SoftmaxLast(Var),
+    /// LayerNorm over the trailing axis with affine `gamma`/`beta`.
+    /// `cache` stores `[mean_0..mean_{rows-1}, rstd_0..rstd_{rows-1}]`.
+    LayerNormLast {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        cache: Box<[f32]>,
+    },
+    Relu(Var),
+    Gelu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Abs(Var),
+    /// Concatenation along the trailing axis; `split` is the LHS width.
+    ConcatLast(Var, Var, usize),
+    /// Columns `[start, end)` of the trailing axis.
+    SliceLast(Var, usize, usize),
+    MeanAll(Var),
+    SumAll(Var),
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// An append-only computation tape.
+///
+/// Build the forward pass with the op methods, call [`Graph::backward`] once
+/// on a scalar node, then read gradients with [`Graph::grad`].
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    #[inline]
+    pub(crate) fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Registers a trainable leaf (a parameter). Its gradient is available
+    /// after [`Graph::backward`].
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, true)
+    }
+
+    /// Registers a constant leaf (input data). No gradient is computed for it.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the loss w.r.t. node `v`, if one was computed.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    // ---- arithmetic ----
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise `a ⊙ b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Mul(a, b), rg)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        let rg = self.rg(a);
+        self.push(v, Op::Neg(a), rg)
+    }
+
+    /// Multiplies every element by the constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, c), rg)
+    }
+
+    /// Adds the constant `c` to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        let rg = self.rg(a);
+        self.push(v, Op::AddScalar(a), rg)
+    }
+
+    // ---- linear algebra ----
+
+    /// 2-D matrix product `[m, k] · [k, n] → [m, n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Matmul(a, b), rg)
+    }
+
+    /// Batched 3-D matrix product `[B, m, k] · [B, k, n] → [B, m, n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Bmm(a, b), rg)
+    }
+
+    /// Broadcast score kernel: `out[b] = a · x[b]ᵀ` for 2-D `a: [k, d]` and
+    /// 3-D `x: [B, l, d]`, producing `[B, k, l]`.
+    pub fn matmul_broadcast_nt(&mut self, a: Var, x: Var) -> Var {
+        let at = self.value(a);
+        let xt = self.value(x);
+        assert_eq!(at.rank(), 2, "matmul_broadcast_nt lhs must be rank 2");
+        assert_eq!(xt.rank(), 3, "matmul_broadcast_nt rhs must be rank 3");
+        let (k, d) = (at.dims()[0], at.dims()[1]);
+        let (bsz, l, d2) = (xt.dims()[0], xt.dims()[1], xt.dims()[2]);
+        assert_eq!(d, d2, "matmul_broadcast_nt inner dims: {d} vs {d2}");
+        let mut out = Tensor::zeros(&[bsz, k, l]);
+        for b in 0..bsz {
+            let slice = xt.index_axis0(b);
+            let s = at.matmul_nt(&slice);
+            out.data_mut()[b * k * l..(b + 1) * k * l].copy_from_slice(s.data());
+        }
+        let rg = self.rg(a) || self.rg(x);
+        self.push(out, Op::MatmulBroadcastNt(a, x), rg)
+    }
+
+    /// Transpose of a rank-2 node.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        let rg = self.rg(a);
+        self.push(v, Op::Transpose2(a), rg)
+    }
+
+    /// Swap the last two axes of a rank-3 node.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose_last2();
+        let rg = self.rg(a);
+        self.push(v, Op::TransposeLast2(a), rg)
+    }
+
+    /// Swaps the first two axes of a rank-3 node: `[a, b, c] → [b, a, c]`.
+    pub fn swap_axes01(&mut self, a: Var) -> Var {
+        let v = swap01(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::SwapAxes01(a), rg)
+    }
+
+    /// Shape change without data movement.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        let v = self.value(a).reshape(dims);
+        let rg = self.rg(a);
+        self.push(v, Op::Reshape(a), rg)
+    }
+
+    /// Adds a trailing-axis-length `bias` vector to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(bias));
+        let rg = self.rg(x) || self.rg(bias);
+        self.push(v, Op::AddRowBroadcast(x, bias), rg)
+    }
+
+    // ---- normalisation / attention ----
+
+    /// Numerically stable softmax over the trailing axis.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_last();
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxLast(a), rg)
+    }
+
+    /// LayerNorm over the trailing axis with affine parameters.
+    ///
+    /// `gamma`/`beta` must be rank-1 with the length of `x`'s trailing axis.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xt = self.value(x);
+        let n = xt.shape().last_dim();
+        assert_eq!(self.value(gamma).numel(), n, "layer_norm gamma length");
+        assert_eq!(self.value(beta).numel(), n, "layer_norm beta length");
+        let rows = xt.shape().leading();
+        let mut cache = vec![0.0f32; 2 * rows];
+        let mut out = xt.clone();
+        let gdata = self.value(gamma).data().to_vec();
+        let bdata = self.value(beta).data().to_vec();
+        for i in 0..rows {
+            let row = &mut out.data_mut()[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            cache[i] = mean;
+            cache[rows + i] = rstd;
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * rstd * gdata[j] + bdata[j];
+            }
+        }
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push(
+            out,
+            Op::LayerNormLast {
+                x,
+                gamma,
+                beta,
+                cache: cache.into_boxed_slice(),
+            },
+            rg,
+        )
+    }
+
+    // ---- nonlinearities ----
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|v| v.max(0.0));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// GELU with the tanh approximation.
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(gelu_fwd);
+        let rg = self.rg(a);
+        self.push(v, Op::Gelu(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::abs);
+        let rg = self.rg(a);
+        self.push(v, Op::Abs(a), rg)
+    }
+
+    // ---- structure ----
+
+    /// Concatenates along the trailing axis.
+    pub fn concat_last(&mut self, a: Var, b: Var) -> Var {
+        let split = self.value(a).shape().last_dim();
+        let v = self.value(a).concat_last(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::ConcatLast(a, b, split), rg)
+    }
+
+    /// Slices columns `[start, end)` of the trailing axis.
+    pub fn slice_last(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let n = self.value(a).shape().last_dim();
+        assert!(start < end && end <= n, "slice [{start}, {end}) out of trailing dim {n}");
+        let (left, _) = self.value(a).split_last(end);
+        let (_, v) = left.split_last(start);
+        let rg = self.rg(a);
+        self.push(v, Op::SliceLast(a, start, end), rg)
+    }
+
+    // ---- reductions / losses ----
+
+    /// Scalar mean of all elements.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean_all());
+        let rg = self.rg(a);
+        self.push(v, Op::MeanAll(a), rg)
+    }
+
+    /// Scalar sum of all elements.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum_all());
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Mean squared error between two same-shape nodes (scalar).
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Mean absolute error between two same-shape nodes (scalar).
+    pub fn mae(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let a = self.abs(d);
+        self.mean_all(a)
+    }
+}
+
+/// Swap the first two axes of a rank-3 tensor (shared by forward/backward).
+pub(crate) fn swap01(t: &Tensor) -> Tensor {
+    assert_eq!(t.rank(), 3, "swap_axes01 requires rank 3, got {}", t.shape());
+    let (a, b, c) = (t.dims()[0], t.dims()[1], t.dims()[2]);
+    let mut out = Tensor::zeros(&[b, a, c]);
+    for i in 0..a {
+        for j in 0..b {
+            let src = (i * b + j) * c;
+            let dst = (j * a + i) * c;
+            out.data_mut()[dst..dst + c].copy_from_slice(&t.data()[src..src + c]);
+        }
+    }
+    out
+}
+
+pub(crate) fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+pub(crate) fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let u = C * (x + 0.044715 * x3);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.constant(Tensor::eye(2));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data(), g.value(a).data());
+        let s = g.softmax_last(a);
+        assert!((g.value(s).row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn requires_grad_propagates() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::ones(&[2]));
+        let p = g.leaf(Tensor::ones(&[2]));
+        let s1 = g.add(c, c);
+        let s2 = g.add(c, p);
+        assert!(!g.rg(s1));
+        assert!(g.rg(s2));
+    }
+
+    #[test]
+    fn broadcast_nt_matches_per_batch() {
+        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+        let _ = &mut rng;
+        let a = Tensor::from_vec((0..6).map(|v| v as f32 * 0.1).collect(), &[2, 3]);
+        let x = Tensor::from_vec((0..24).map(|v| v as f32 * 0.05).collect(), &[2, 4, 3]);
+        let mut g = Graph::new();
+        let av = g.constant(a.clone());
+        let xv = g.constant(x.clone());
+        let s = g.matmul_broadcast_nt(av, xv);
+        assert_eq!(g.value(s).dims(), &[2, 2, 4]);
+        for b in 0..2 {
+            let expect = a.matmul_nt(&x.index_axis0(b));
+            assert!(g.value(s).index_axis0(b).max_abs_diff(&expect) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_are_normalised() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]));
+        let gamma = g.constant(Tensor::ones(&[4]));
+        let beta = g.constant(Tensor::zeros(&[4]));
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        for i in 0..2 {
+            let row = g.value(y).row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation.
+        assert!((gelu_fwd(0.0)).abs() < 1e-7);
+        assert!((gelu_fwd(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_fwd(-1.0) + 0.1588).abs() < 1e-3);
+    }
+}

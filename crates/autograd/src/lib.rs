@@ -1,0 +1,44 @@
+//! # focus-autograd
+//!
+//! A tape-based reverse-mode automatic differentiation engine over
+//! [`focus_tensor::Tensor`], plus the optimizers the FOCUS paper trains with
+//! (AdamW — §V cites Loshchilov's decoupled weight decay — alongside Adam and
+//! SGD for comparison).
+//!
+//! ## Design
+//!
+//! A [`Graph`] is an append-only arena of nodes. Every operation records its
+//! inputs and caches the values needed by its backward rule; [`Var`] is a
+//! copyable index into the arena. A fresh graph is built for every training
+//! step — parameters live outside the graph in a [`ParamStore`] and are
+//! registered as trainable leaves at the start of each step. This keeps the
+//! engine free of interior mutability and reference cycles.
+//!
+//! ```
+//! use focus_autograd::Graph;
+//! use focus_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+//! let y = g.mul(x, x);           // y = x²
+//! let loss = g.mean_all(y);      // L = mean(x²)
+//! g.backward(loss);
+//! // dL/dx = 2x / n = x
+//! assert_eq!(g.grad(x).unwrap().data(), &[1.0, 2.0]);
+//! ```
+//!
+//! The op set is exactly what the FOCUS model, its ablations and the seven
+//! baselines need: dense linear algebra (2-D and batched 3-D matmul with a
+//! broadcast-LHS variant for prototype queries), softmax, LayerNorm,
+//! pointwise nonlinearities, concatenation and the MSE/MAE reductions.
+//! Gradient correctness is enforced by the finite-difference checker in
+//! [`gradcheck`] which the test-suite runs over every op.
+
+mod backward;
+mod graph;
+mod optim;
+
+pub mod gradcheck;
+
+pub use graph::{Graph, Var};
+pub use optim::{Adam, AdamW, Optimizer, ParamId, ParamStore, ParamVars, Sgd};

@@ -1,0 +1,409 @@
+//! Parameter storage and optimizers.
+//!
+//! Parameters live outside the per-step [`Graph`] in a [`ParamStore`]. Each
+//! training step registers them as trainable leaves, runs forward/backward,
+//! then hands the collected gradients to an [`Optimizer`].
+//!
+//! The FOCUS paper optimises both the offline prototypes (§V) and the online
+//! network with AdamW; [`Adam`] and [`Sgd`] are provided for the ablations
+//! and for tests.
+
+use crate::{Graph, Var};
+use focus_tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// A named collection of trainable tensors.
+#[derive(Default)]
+pub struct ParamStore {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar parameters, for the paper's `Param` metric.
+    pub fn scalar_count(&self) -> u64 {
+        self.tensors.iter().map(|t| t.numel() as u64).sum()
+    }
+
+    /// Read a parameter tensor.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter tensor.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The name a parameter was registered with.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Deep copy of all parameter tensors (for early-stopping snapshots).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.tensors.clone()
+    }
+
+    /// Restores a snapshot taken by [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// If the snapshot's length or tensor shapes disagree with the store.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(
+            snapshot.len(),
+            self.tensors.len(),
+            "snapshot holds {} tensors, store has {}",
+            snapshot.len(),
+            self.tensors.len()
+        );
+        for (dst, src) in self.tensors.iter_mut().zip(snapshot) {
+            assert!(
+                dst.shape().same_as(src.shape()),
+                "snapshot shape {} != parameter shape {}",
+                src.shape(),
+                dst.shape()
+            );
+            dst.data_mut().copy_from_slice(src.data());
+        }
+    }
+
+    /// Iterates over `(id, name, tensor)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+
+    /// Registers every parameter as a trainable leaf in `g`, in id order.
+    ///
+    /// The returned vector is indexed by `ParamId`, so
+    /// `vars[id] == leaf-for-id`.
+    pub fn register(&self, g: &mut Graph) -> ParamVars {
+        let vars = self.tensors.iter().map(|t| g.leaf(t.clone())).collect();
+        ParamVars { vars }
+    }
+
+    /// Applies one optimizer step from the gradients recorded in `g`.
+    ///
+    /// Parameters whose leaves received no gradient (unused in this step's
+    /// forward pass) are left untouched.
+    pub fn step<O: Optimizer>(&mut self, opt: &mut O, g: &Graph, vars: &ParamVars) {
+        opt.begin_step(self.tensors.len());
+        for (i, var) in vars.vars.iter().enumerate() {
+            if let Some(grad) = g.grad(*var) {
+                opt.update(i, &mut self.tensors[i], grad);
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients in `g` for this store's leaves.
+    pub fn grad_norm(&self, g: &Graph, vars: &ParamVars) -> f32 {
+        let mut ss = 0.0f64;
+        for var in &vars.vars {
+            if let Some(grad) = g.grad(*var) {
+                ss += grad.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            }
+        }
+        ss.sqrt() as f32
+    }
+}
+
+/// The graph leaves for one registration of a [`ParamStore`].
+pub struct ParamVars {
+    vars: Vec<Var>,
+}
+
+impl ParamVars {
+    /// The leaf for parameter `id`.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+}
+
+/// A first-order optimizer updating one parameter tensor at a time.
+pub trait Optimizer {
+    /// Called once per [`ParamStore::step`] with the parameter count, so
+    /// implementations can lazily size their state.
+    fn begin_step(&mut self, n_params: usize);
+
+    /// Updates parameter `idx` in place given its gradient.
+    fn update(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr · ∇`.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self, _n: usize) {}
+
+    fn update(&mut self, _idx: usize, param: &mut Tensor, grad: &Tensor) {
+        param.axpy(-self.lr, grad);
+    }
+}
+
+/// Per-parameter first/second moment state shared by Adam and AdamW.
+#[derive(Default)]
+struct Moments {
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Moments {
+    fn ensure(&mut self, n: usize) {
+        // Lazily sized on first use; shapes are filled in per update.
+        while self.m.len() < n {
+            self.m.push(Tensor::zeros(&[0]));
+            self.v.push(Tensor::zeros(&[0]));
+        }
+    }
+
+    /// Returns the bias-corrected update direction `m̂ / (√v̂ + eps)`.
+    fn direction(&mut self, idx: usize, grad: &Tensor, beta1: f32, beta2: f32, eps: f32) -> Tensor {
+        if self.m[idx].numel() != grad.numel() {
+            self.m[idx] = Tensor::zeros(grad.dims());
+            self.v[idx] = Tensor::zeros(grad.dims());
+        }
+        let m = &mut self.m[idx];
+        for (mv, &gv) in m.data_mut().iter_mut().zip(grad.data()) {
+            *mv = beta1 * *mv + (1.0 - beta1) * gv;
+        }
+        let v = &mut self.v[idx];
+        for (vv, &gv) in v.data_mut().iter_mut().zip(grad.data()) {
+            *vv = beta2 * *vv + (1.0 - beta2) * gv * gv;
+        }
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        let mut dir = Tensor::zeros(grad.dims());
+        for ((d, mv), vv) in dir
+            .data_mut()
+            .iter_mut()
+            .zip(self.m[idx].data())
+            .zip(self.v[idx].data())
+        {
+            let mhat = mv / bc1;
+            let vhat = vv / bc2;
+            *d = mhat / (vhat.sqrt() + eps);
+        }
+        dir
+    }
+}
+
+/// Adam (Kingma & Ba) with coupled L2 regularisation folded into the gradient.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    state: Moments,
+    step_started: bool,
+}
+
+impl Adam {
+    /// Adam with the conventional `(0.9, 0.999, 1e-8)` hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: Moments::default(),
+            step_started: false,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self, n: usize) {
+        self.state.ensure(n);
+        self.state.t += 1;
+        self.step_started = true;
+    }
+
+    fn update(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
+        debug_assert!(self.step_started, "begin_step must precede update");
+        let dir = self.state.direction(idx, grad, self.beta1, self.beta2, self.eps);
+        param.axpy(-self.lr, &dir);
+    }
+}
+
+/// AdamW (Loshchilov & Hutter): Adam with *decoupled* weight decay, the
+/// optimizer used for both phases of FOCUS.
+pub struct AdamW {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient λ; applied as `θ ← θ(1 − lr·λ)`.
+    pub weight_decay: f32,
+    state: Moments,
+    step_started: bool,
+}
+
+impl AdamW {
+    /// AdamW with conventional moments and the given decay.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            state: Moments::default(),
+            step_started: false,
+        }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn begin_step(&mut self, n: usize) {
+        self.state.ensure(n);
+        self.state.t += 1;
+        self.step_started = true;
+    }
+
+    fn update(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
+        debug_assert!(self.step_started, "begin_step must precede update");
+        // Decoupled decay first (does not enter the moment estimates).
+        if self.weight_decay > 0.0 {
+            let shrink = 1.0 - self.lr * self.weight_decay;
+            for p in param.data_mut() {
+                *p *= shrink;
+            }
+        }
+        let dir = self.state.direction(idx, grad, self.beta1, self.beta2, self.eps);
+        param.axpy(-self.lr, &dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// Minimises L(w) = mean((w·x − y)²) and checks convergence.
+    fn converges<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[1, 2]));
+        // Well-conditioned design matrix (near-orthogonal rows).
+        let x = Tensor::from_vec(vec![1.0, 0.5, -0.3, -0.5, 1.0, 0.4], &[2, 3]);
+        let target = Tensor::from_vec(vec![2.0, 1.0, -0.6], &[1, 3]); // exact w* = [2, 0]
+        let mut last = f32::MAX;
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let vars = store.register(&mut g);
+            let xv = g.constant(x.clone());
+            let tv = g.constant(target.clone());
+            let pred = g.matmul(vars.var(w), xv);
+            let loss = g.mse(pred, tv);
+            g.backward(loss);
+            store.step(&mut opt, &g, &vars);
+            last = g.value(loss).item();
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_problem() {
+        assert!(converges(Sgd::new(0.1), 300) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_problem() {
+        assert!(converges(Adam::new(0.05), 400) < 1e-3);
+    }
+
+    #[test]
+    fn adamw_converges_on_linear_problem() {
+        assert!(converges(AdamW::new(0.05, 1e-4), 400) < 1e-2);
+    }
+
+    #[test]
+    fn adamw_decay_shrinks_unused_direction() {
+        // With zero gradient signal, AdamW decay alone should shrink weights.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[4]));
+        let mut opt = AdamW::new(0.1, 0.5);
+        for _ in 0..10 {
+            let mut g = Graph::new();
+            let vars = store.register(&mut g);
+            let s = g.sum_all(vars.var(w));
+            let zero = g.scale(s, 0.0);
+            g.backward(zero);
+            store.step(&mut opt, &g, &vars);
+        }
+        assert!(store.get(w).data()[0] < 0.7);
+    }
+
+    #[test]
+    fn param_store_bookkeeping() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2, 3]));
+        let b = store.add("b", Tensor::zeros(&[5]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 11);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.get(b).numel(), 5);
+    }
+
+    #[test]
+    fn unused_params_are_untouched_by_step() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::ones(&[1]));
+        let unused = store.add("unused", Tensor::ones(&[1]));
+        let mut opt = Sgd::new(1.0);
+        let mut g = Graph::new();
+        let vars = store.register(&mut g);
+        let loss = g.sum_all(vars.var(used));
+        g.backward(loss);
+        store.step(&mut opt, &g, &vars);
+        assert_eq!(store.get(used).data()[0], 0.0);
+        assert_eq!(store.get(unused).data()[0], 1.0);
+    }
+}

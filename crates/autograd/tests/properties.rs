@@ -1,0 +1,133 @@
+//! Property-based tests: gradient identities that must hold for arbitrary
+//! bounded inputs, checked with the finite-difference harness.
+
+use focus_autograd::{gradcheck, Graph};
+use focus_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor(dims: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-2.0f32..2.0, n).prop_map(move |v| Tensor::from_vec(v, dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_chain_gradcheck(a in tensor(&[3, 4]), b in tensor(&[4, 2])) {
+        let rep = gradcheck::check(&[a, b], 1e-2, |g, v| {
+            let m = g.matmul(v[0], v[1]);
+            let sq = g.mul(m, m);
+            g.mean_all(sq)
+        });
+        prop_assert!(rep.max_rel_err < 0.05, "rel err {}", rep.max_rel_err);
+    }
+
+    #[test]
+    fn softmax_then_mse_gradcheck(x in tensor(&[2, 5]), t in tensor(&[2, 5])) {
+        let rep = gradcheck::check(&[x, t], 1e-2, |g, v| {
+            let s = g.softmax_last(v[0]);
+            g.mse(s, v[1])
+        });
+        prop_assert!(rep.max_rel_err < 0.05, "rel err {}", rep.max_rel_err);
+    }
+
+    #[test]
+    fn linearity_of_gradients(x in tensor(&[6]), c in 0.1f32..3.0) {
+        // d(mean(c·x²))/dx = c · d(mean(x²))/dx.
+        let grad_of = |scale: f32, input: &Tensor| -> Vec<f32> {
+            let mut g = Graph::new();
+            let xv = g.leaf(input.clone());
+            let sq = g.mul(xv, xv);
+            let scaled = g.scale(sq, scale);
+            let loss = g.mean_all(scaled);
+            g.backward(loss);
+            g.grad(xv).unwrap().data().to_vec()
+        };
+        let g1 = grad_of(1.0, &x);
+        let gc = grad_of(c, &x);
+        for (a, b) in g1.iter().zip(&gc) {
+            prop_assert!((a * c - b).abs() < 1e-4 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn sum_rule(x in tensor(&[4, 3])) {
+        // grad of sum_all is all-ones.
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let loss = g.sum_all(xv);
+        g.backward(loss);
+        let grad = g.grad(xv).unwrap();
+        prop_assert!(grad.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn chain_through_reshape_and_transpose_preserves_gradient_norm(x in tensor(&[3, 4])) {
+        // Loss is invariant to reshape/transpose, so gradients must match the
+        // direct computation elementwise (after undoing the permutation).
+        let direct = {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let sq = g.mul(xv, xv);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.grad(xv).unwrap().clone()
+        };
+        let via_ops = {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let r = g.reshape(xv, &[4, 3]);
+            let t = g.transpose(r);
+            let sq = g.mul(t, t);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.grad(xv).unwrap().clone()
+        };
+        prop_assert!(direct.max_abs_diff(&via_ops) < 1e-5);
+    }
+
+    #[test]
+    fn swap_axes_is_gradient_involution(x in tensor(&[2, 3, 4])) {
+        // swap01(swap01(x)) = x, so the gradient through the double swap
+        // equals the direct gradient.
+        let direct = {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let sq = g.mul(xv, xv);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.grad(xv).unwrap().clone()
+        };
+        let swapped = {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let s1 = g.swap_axes01(xv);
+            let s2 = g.swap_axes01(s1);
+            let sq = g.mul(s2, s2);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.grad(xv).unwrap().clone()
+        };
+        prop_assert!(direct.max_abs_diff(&swapped) < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_gradient_orthogonal_to_ones(x in tensor(&[2, 6])) {
+        // LayerNorm output is invariant to a constant shift of its input,
+        // so dL/dx must sum to ~0 per row.
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let gamma = g.constant(Tensor::ones(&[6]));
+        let beta = g.constant(Tensor::zeros(&[6]));
+        let y = g.layer_norm(xv, gamma, beta, 1e-5);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        let grad = g.grad(xv).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = grad.row(r).iter().sum();
+            prop_assert!(row_sum.abs() < 1e-3, "row {r} grad sum {row_sum}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline-phase throughput: Algorithm 1 under the two objectives (the
+//! Fig. 8 "the correlation term is almost free" claim) and the two prototype
+//! update rules, across segment-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use focus_cluster::{ClusterConfig, Objective, ProtoUpdate};
+use focus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const P: usize = 16;
+const K: usize = 16;
+
+fn segments(n: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(42);
+    // Structured data: noisy sinusoids at a few phases, so clusters exist.
+    let mut data = Vec::with_capacity(n * P);
+    for i in 0..n {
+        let phase = (i % 8) as f32 * 0.7;
+        for j in 0..P {
+            let u = j as f32 / P as f32;
+            data.push((2.0 * std::f32::consts::PI * u + phase).sin());
+        }
+    }
+    let noise = Tensor::randn(&[n, P], 0.1, &mut rng);
+    Tensor::from_vec(data, &[n, P]).add(&noise)
+}
+
+fn bench_objectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_objective");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [512usize, 2048] {
+        let segs = segments(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rec_only", n), &n, |b, _| {
+            b.iter(|| {
+                let cfg = ClusterConfig::new(K, P)
+                    .with_objective(Objective::RecOnly)
+                    .with_max_iters(10);
+                black_box(cfg.fit(&segs, 1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rec_corr", n), &n, |b, _| {
+            b.iter(|| {
+                let cfg = ClusterConfig::new(K, P)
+                    .with_objective(Objective::rec_corr(0.2))
+                    .with_max_iters(10);
+                black_box(cfg.fit(&segs, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_rules(c: &mut Criterion) {
+    let segs = segments(1024);
+    let mut group = c.benchmark_group("clustering_update");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("closed_form_mean", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::new(K, P)
+                .with_objective(Objective::RecOnly)
+                .with_update(ProtoUpdate::ClosedFormMean)
+                .with_max_iters(10);
+            black_box(cfg.fit(&segs, 2))
+        })
+    });
+    group.bench_function("adamw", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::new(K, P)
+                .with_max_iters(10) // paper default update: AdamW
+                .with_objective(Objective::rec_corr(0.2));
+            black_box(cfg.fit(&segs, 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_objectives, bench_update_rules);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fusion-stage wall clock: the Parallel Fusion Module (readout queries +
+//! gating) vs the gated-linear alternative of Table IV, across entity
+//! counts — backing the "linear scalability" claim of §VII-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focus_autograd::{Graph, ParamStore};
+use focus_core::fusion::ParallelFusion;
+use focus_nn::Linear;
+use focus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const D: usize = 32;
+const L: usize = 24;
+const M: usize = 6;
+const HORIZON: usize = 24;
+
+fn bench_fusion_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("fusion_scaling");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [8usize, 32, 128] {
+        let h_t = Tensor::randn(&[n, L, D], 1.0, &mut rng);
+        let h_e = Tensor::randn(&[n, L, D], 1.0, &mut rng);
+
+        // Parallel Fusion Module (the paper's design).
+        let mut ps = ParamStore::new();
+        let fusion = ParallelFusion::new(&mut ps, "fusion", M, D, HORIZON, &mut rng);
+        group.bench_with_input(BenchmarkId::new("parallel_fusion", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let pv = ps.register(&mut g);
+                let ht = g.constant(h_t.clone());
+                let he = g.constant(h_e.clone());
+                let y = fusion.forward(&mut g, &pv, ht, he);
+                black_box(g.value(y).sum_all())
+            })
+        });
+
+        // Gated linear fusion (Table IV's FOCUS-LnrFusion stage).
+        let mut ps2 = ParamStore::new();
+        let w1 = Linear::new(&mut ps2, "w1", 2 * L * D, HORIZON, &mut rng);
+        let w2 = Linear::new(&mut ps2, "w2", 2 * L * D, HORIZON, &mut rng);
+        group.bench_with_input(BenchmarkId::new("gated_linear", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let pv = ps2.register(&mut g);
+                let ht = g.constant(h_t.reshape(&[n, L * D]));
+                let he = g.constant(h_e.reshape(&[n, L * D]));
+                let z = g.concat_last(ht, he);
+                let lin = w1.forward(&mut g, &pv, z);
+                let gate_logits = w2.forward(&mut g, &pv, z);
+                let gate = g.sigmoid(gate_logits);
+                let y = g.mul(lin, gate);
+                black_box(g.value(y).sum_all())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_scaling);
+criterion_main!(benches);

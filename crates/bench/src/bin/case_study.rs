@@ -1,0 +1,110 @@
+//! Case study (paper §VIII-G, Figs. 11–13) on a PEMS08-like sequence:
+//!
+//! * `--part approx`     — Fig. 11: approximate a day-long series with k=8
+//!   prototypes rescaled to local mean/std;
+//! * `--part forecast`   — Fig. 12: one window's forecast vs ground truth;
+//! * `--part dependency` — Fig. 13: the learned long-range dependency matrix
+//!   `A · α`.
+//!
+//! Usage: `cargo run --release -p focus-bench --bin case_study [--part …] [--fast]`
+
+use focus_bench::settings::{self, Cli};
+use focus_cluster::{reconstruct_row, segment_matrix, ClusterConfig};
+use focus_core::protoattn::Assignment;
+use focus_core::{Focus, FocusConfig, Forecaster};
+use focus_data::{Benchmark, MtsDataset, Split};
+use focus_nn::revin::instance_norm;
+
+fn spark(values: &[f32]) -> String {
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    values
+        .iter()
+        .map(|&v| {
+            let u = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'][(u * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let parts: Vec<&str> = match cli.opt("part") {
+        Some(p) => vec![p],
+        None => vec!["approx", "forecast", "dependency"],
+    };
+    let parts: Vec<String> = parts.into_iter().map(String::from).collect();
+
+    let (max_entities, max_len) = settings::dataset_size(cli.scale);
+    let ds = MtsDataset::generate(
+        Benchmark::Pems08.scaled(max_entities, max_len),
+        settings::seed_for("case", 0),
+    );
+    let spd = ds.spec().steps_per_day().min(ds.spec().len / 4);
+
+    if parts.iter().any(|p| p == "approx") {
+        println!("## Fig. 11 — series approximation with k = 8 prototypes\n");
+        let day = &ds.data().row(0)[..spd];
+        let p = 16.min(spd / 4).max(2);
+        let segs = segment_matrix(&ds.train_matrix(), p);
+        let protos = ClusterConfig::new(8, p).fit(&segs, settings::seed_for("case-k8", 0));
+        let rep = reconstruct_row(day, &protos);
+        let n = rep.reconstruction.len();
+        println!("original       {}", spark(&day[..n]));
+        println!("reconstruction {}", spark(&rep.reconstruction));
+        println!(
+            "\nMSE {:.4}, correlation {:.3}, prototypes used: {:?}",
+            rep.mse,
+            rep.correlation,
+            {
+                let mut used = rep.assignments.clone();
+                used.sort_unstable();
+                used.dedup();
+                used
+            }
+        );
+        println!();
+    }
+
+    // A trained model for the remaining parts.
+    let (lookback, horizons) = settings::window_size(cli.scale);
+    let horizon = horizons[0];
+    let mut cfg = FocusConfig::new(lookback, horizon);
+    cfg.segment_len = 8;
+    cfg.n_prototypes = 12;
+    cfg.d = 24;
+    let mut model = Focus::fit_offline(&ds, cfg.clone(), settings::seed_for("case-m", 0));
+    model.train(&ds, &settings::train_options(cli.scale));
+
+    let test_range = ds.range(Split::Test);
+    let w = ds.window_at(test_range.start + spd / 2, lookback, horizon);
+
+    if parts.iter().any(|p| p == "forecast") {
+        println!("## Fig. 12 — forecast vs ground truth (entity 0)\n");
+        let pred = model.predict(&w.x);
+        println!("input    {}", spark(w.x.row(0)));
+        println!("truth    {}", spark(w.y.row(0)));
+        println!("forecast {}", spark(pred.row(0)));
+        let mut m = focus_data::Metrics::new();
+        m.update(&pred, &w.y);
+        println!("\nwindow MSE {:.4}, MAE {:.4}\n", m.mse(), m.mae());
+    }
+
+    if parts.iter().any(|p| p == "dependency") {
+        println!("## Fig. 13 — learned long-range dependency (entity 0)\n");
+        let (x_norm, _) = instance_norm(&w.x);
+        let segs = model.extractor().segment_view(&x_norm);
+        let assign = Assignment::Hard.matrix(&segs, model.prototypes());
+        let dep = model
+            .extractor()
+            .temporal_attn()
+            .dependency_matrix(model.params(), &segs, &assign);
+        let l = segs.dims()[1];
+        println!("rows: query segment (old → recent); cols: attended segment\n");
+        for i in 0..l {
+            let row: Vec<f32> = (0..l).map(|j| dep.at3(0, i, j)).collect();
+            println!("seg {i:>2} {}", spark(&row));
+        }
+        println!("\n(each row sums to 1; bright cells mark the segments the model consults)");
+    }
+}

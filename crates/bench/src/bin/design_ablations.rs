@@ -1,0 +1,84 @@
+//! Design-choice ablations beyond the paper's Table IV — the candidates
+//! DESIGN.md §5 calls out:
+//!
+//! * hard one-hot assignment (paper, Eq. 15) vs soft assignment;
+//! * AdamW prototype optimisation (paper, §V) vs the closed-form k-means
+//!   mean update;
+//! * the readout-query count `m` of the Parallel Fusion Module.
+//!
+//! Usage: `cargo run --release -p focus-bench --bin design_ablations [--fast|--full] [--csv]`
+
+use focus_bench::report::{f4, Table};
+use focus_bench::settings::{self, Cli, Scale};
+use focus_cluster::ProtoUpdate;
+use focus_core::{Assignment, Focus, FocusConfig, Forecaster};
+use focus_data::{Benchmark, MtsDataset, Split};
+
+fn main() {
+    let cli = Cli::parse();
+    let (max_entities, max_len) = settings::dataset_size(cli.scale);
+    let (lookback, horizons) = settings::window_size(cli.scale);
+    let horizon = horizons[0];
+    // Fixed budget across variants, same rationale as fig7.
+    let opts = focus_core::TrainOptions {
+        epochs: if cli.scale == Scale::Fast { 4 } else { 12 },
+        max_windows: 64,
+        patience: None,
+        ..settings::train_options(cli.scale)
+    };
+
+    let ds = MtsDataset::generate(
+        Benchmark::Pems08.scaled(max_entities, max_len),
+        settings::seed_for("design", 0),
+    );
+    let base = || {
+        let mut cfg = FocusConfig::new(lookback, horizon);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 12;
+        cfg.d = 24;
+        cfg
+    };
+
+    let mut table = Table::new(&["study", "variant", "MSE", "MAE"]);
+    let mut run = |study: &str, variant: &str, cfg: FocusConfig| {
+        let mut model = Focus::fit_offline(&ds, cfg, settings::seed_for("design-m", 0));
+        model.train(&ds, &opts);
+        let m = model.evaluate(&ds, Split::Test, horizon);
+        eprintln!("  {study}/{variant}: MSE {:.4}", m.mse());
+        table.row(vec![study.into(), variant.into(), f4(m.mse()), f4(m.mae())]);
+    };
+
+    eprintln!("== assignment mode ==");
+    run("assignment", "hard (paper)", base());
+    for temp in [0.5f32, 2.0] {
+        let mut cfg = base();
+        cfg.assignment = Assignment::Soft { temperature: temp };
+        run("assignment", &format!("soft τ={temp}"), cfg);
+    }
+
+    eprintln!("== prototype update rule ==");
+    run("proto-update", "AdamW (paper)", base());
+    {
+        let mut cfg = base();
+        cfg.cluster_update = ProtoUpdate::ClosedFormMean;
+        run("proto-update", "closed-form mean", cfg);
+    }
+
+    eprintln!("== readout queries m ==");
+    let ms: &[usize] = if cli.scale == Scale::Fast { &[2, 6] } else { &[2, 4, 6, 12, 21] };
+    for &m in ms {
+        let mut cfg = base();
+        cfg.readout = m;
+        run("readout-m", &format!("m={m}"), cfg);
+    }
+
+    println!("\n# Design ablations (PEMS08-like, horizon {horizon})\n");
+    println!("{}", table.to_markdown());
+
+    if cli.csv {
+        let path = table
+            .save_csv(std::path::Path::new(env!("CARGO_MANIFEST_DIR")), "design_ablations")
+            .expect("write csv");
+        println!("csv: {}", path.display());
+    }
+}

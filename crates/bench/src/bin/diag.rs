@@ -1,0 +1,40 @@
+//! Developer diagnostic: FOCUS training dynamics vs PatchTST at several
+//! learning rates. Not part of the paper reproduction; used to tune the
+//! shared training defaults.
+
+use focus_baselines::PatchTst;
+use focus_core::{Focus, FocusConfig, Forecaster, TrainOptions};
+use focus_data::{Benchmark, MtsDataset, Split};
+
+fn main() {
+    let ds = MtsDataset::generate(Benchmark::Pems08.scaled(12, 3_000), 33);
+    for lr in [2e-3f32, 5e-3, 1e-2, 2e-2] {
+        let opts = TrainOptions {
+            epochs: 20,
+            max_windows: 64,
+            lr,
+            ..Default::default()
+        };
+        let mut cfg = FocusConfig::new(96, 24);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 10;
+        cfg.d = 24;
+        let mut focus = Focus::fit_offline(&ds, cfg, 1);
+        let rf = focus.train(&ds, &opts);
+        let mf = focus.evaluate(&ds, Split::Test, 48);
+
+        let mut patch = PatchTst::new(96, 24, 8, 24, 1);
+        let rp = patch.train(&ds, &opts);
+        let mp = patch.evaluate(&ds, Split::Test, 48);
+
+        println!(
+            "lr {lr:.0e}: FOCUS loss {:.3}->{:.3} test {:.4} | PatchTST loss {:.3}->{:.3} test {:.4}",
+            rf.epoch_losses[0],
+            rf.epoch_losses.last().unwrap(),
+            mf.mse(),
+            rp.epoch_losses[0],
+            rp.epoch_losses.last().unwrap(),
+            mp.mse()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 6: FLOPs, peak memory and parameter count of every model as the
+//! input length grows — the paper's efficiency headline (FOCUS scales
+//! linearly; the transformer baselines quadratically).
+//!
+//! These are the paper's own platform-independent metrics, computed
+//! analytically from the architectures (`thop`-style), so this figure
+//! reproduces *directly*, not just in shape.
+//!
+//! Usage: `cargo run --release -p focus-bench --bin fig6 [--fast|--full] [--csv]`
+
+use focus_baselines::{BaselineConfig, ModelKind};
+use focus_bench::report::{f1, Table};
+use focus_bench::settings::{self, Cli, Scale};
+use focus_data::{Benchmark, MtsDataset};
+
+fn main() {
+    let cli = Cli::parse();
+    let (max_entities, max_len) = settings::dataset_size(cli.scale);
+    let lengths: &[usize] = match cli.scale {
+        Scale::Fast => &[96, 192],
+        Scale::Standard => &[96, 192, 384, 768, 1536],
+        Scale::Full => &[96, 192, 384, 768, 1536, 3072],
+    };
+    let horizon = 48;
+
+    // The efficiency study is architecture-only; one dataset supplies the
+    // entity count and the FOCUS prototypes.
+    let spec = Benchmark::Pems08.scaled(max_entities, max_len);
+    let entities = spec.entities;
+    let ds = MtsDataset::generate(spec, settings::seed_for("fig6", 0));
+
+    let mut table = Table::new(&["model", "L", "MFLOPs", "Mem(MiB)", "Params(K)"]);
+    for kind in ModelKind::ALL {
+        for &len in lengths {
+            let cfg = BaselineConfig {
+                d: 32,
+                n_prototypes: 12,
+                ..BaselineConfig::new(len, horizon)
+            };
+            let model = cfg.build(kind, &ds);
+            let c = model.cost(entities);
+            table.row(vec![
+                kind.label().to_string(),
+                len.to_string(),
+                format!("{:.2}", c.mflops()),
+                format!("{:.3}", c.mem_mib()),
+                f1(c.kparams()),
+            ]);
+        }
+    }
+
+    println!("# Fig. 6 — efficiency vs input length (N = {entities})\n");
+    println!("{}", table.to_markdown());
+
+    // Scaling-exponent summary: fit log(flops) ~ a·log(L).
+    println!("\nempirical FLOPs scaling exponents (log–log slope over the sweep):");
+    for kind in ModelKind::ALL {
+        let mut pts = Vec::new();
+        for &len in lengths {
+            let cfg = BaselineConfig {
+                d: 32,
+                n_prototypes: 12,
+                ..BaselineConfig::new(len, horizon)
+            };
+            let c = cfg.build(kind, &ds).cost(entities);
+            pts.push(((len as f64).ln(), (c.flops as f64).ln()));
+        }
+        let slope = slope(&pts);
+        println!("  {:<14} {slope:.2}", kind.label());
+    }
+    println!("\n(FOCUS ≈ 1.0 = linear; PatchTST/Crossformer trend toward 2.0 = quadratic)");
+
+    if cli.csv {
+        let path = table
+            .save_csv(std::path::Path::new(env!("CARGO_MANIFEST_DIR")), "fig6")
+            .expect("write csv");
+        println!("csv: {}", path.display());
+    }
+}
+
+fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}

@@ -1,0 +1,102 @@
+//! Table III: long-range forecasting accuracy (MSE/MAE) of FOCUS vs the
+//! seven baselines, across the Table II datasets and two horizons.
+//!
+//! Usage: `cargo run --release -p focus-bench --bin table3 [--fast|--full] [--csv]`
+//!
+//! Scale note (see EXPERIMENTS.md): datasets are synthetic stand-ins and the
+//! window/training sizes are reduced from the paper's (lookback 512,
+//! horizons 96/336, V100 training). The comparison *shape* — which model
+//! family wins where — is the reproduced quantity.
+
+use focus_baselines::{BaselineConfig, ModelKind};
+use focus_bench::report::{f4, Table};
+use focus_bench::settings::{self, Cli, Scale};
+use focus_data::{MtsDataset, Split};
+
+fn main() {
+    let cli = Cli::parse();
+    let (max_entities, max_len) = settings::dataset_size(cli.scale);
+    let (lookback, horizons) = settings::window_size(cli.scale);
+    let opts = settings::train_options(cli.scale);
+
+    let mut table = Table::new(&["dataset", "horizon", "model", "MSE", "MAE"]);
+    let mut winners: Vec<String> = Vec::new();
+    // Per-setting MSE of every model, for the mean-rank summary.
+    let mut setting_scores: Vec<Vec<(ModelKind, f64)>> = Vec::new();
+
+    for &bench in settings::benchmarks(cli.scale) {
+        let spec = bench.scaled(max_entities, max_len);
+        let ds = MtsDataset::generate(spec, settings::seed_for("table3-data", bench as u64));
+        for &horizon in &horizons {
+            eprintln!("== {} @ horizon {horizon} ==", ds.spec().name);
+            let cfg = BaselineConfig {
+                d: if cli.scale == Scale::Fast { 16 } else { 32 },
+                n_prototypes: 12,
+                seed: settings::seed_for("table3-model", horizon as u64),
+                ..BaselineConfig::new(lookback, horizon)
+            };
+            let mut best: Option<(String, f64)> = None;
+            let mut scores = Vec::new();
+            for kind in ModelKind::ALL {
+                let mut model = cfg.build(kind, &ds);
+                model.train(&ds, &opts);
+                let m = model.evaluate(&ds, Split::Test, horizon);
+                eprintln!("  {:<14} MSE {:.4}  MAE {:.4}", kind.label(), m.mse(), m.mae());
+                table.row(vec![
+                    ds.spec().name.clone(),
+                    horizon.to_string(),
+                    kind.label().to_string(),
+                    f4(m.mse()),
+                    f4(m.mae()),
+                ]);
+                scores.push((kind, m.mse()));
+                if best.as_ref().map(|(_, b)| m.mse() < *b).unwrap_or(true) {
+                    best = Some((kind.label().to_string(), m.mse()));
+                }
+            }
+            setting_scores.push(scores);
+            let (winner, _) = best.expect("at least one model ran");
+            winners.push(format!("{}@{horizon}: {winner}", ds.spec().name));
+        }
+    }
+
+    println!("\n# Table III — accuracy comparison\n");
+    println!("{}", table.to_markdown());
+    println!("\nper-setting winners (paper: FOCUS takes 26/28 settings):");
+    for w in &winners {
+        println!("  {w}");
+    }
+    let focus_wins = winners.iter().filter(|w| w.ends_with("FOCUS")).count();
+    println!(
+        "\nFOCUS is top-1 on {focus_wins} of {} settings at this scale",
+        winners.len()
+    );
+
+    // Mean rank across settings: the variance-robust shape statistic at this
+    // reduced scale (individual winners flip with seed noise; ranks do not).
+    println!("\nmean MSE rank across all settings (1 = best):");
+    let mut mean_ranks: Vec<(ModelKind, f64)> = ModelKind::ALL
+        .iter()
+        .map(|&kind| {
+            let total: f64 = setting_scores
+                .iter()
+                .map(|scores| {
+                    let my = scores.iter().find(|(k, _)| *k == kind).expect("kind ran").1;
+                    1.0 + scores.iter().filter(|(_, s)| *s < my).count() as f64
+                })
+                .sum();
+            (kind, total / setting_scores.len() as f64)
+        })
+        .collect();
+    mean_ranks.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (kind, rank) in &mean_ranks {
+        println!("  {:<14} {rank:.2}", kind.label());
+    }
+
+    if cli.csv {
+        let path = table
+            .save_csv(std::path::Path::new(env!("CARGO_MANIFEST_DIR")), "table3")
+            .expect("write csv");
+        println!("csv: {}", path.display());
+    }
+}

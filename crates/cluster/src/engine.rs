@@ -1,0 +1,613 @@
+//! The clustering engine: Algorithm 1 of the paper.
+//!
+//! ```text
+//! initialise k prototypes (k-means++ under the composite distance)
+//! repeat
+//!     assign every segment to its nearest prototype      (Eq. 6)
+//!     update every prototype on its bucket's loss        (Eqs. 8–10)
+//! until assignments stop changing or max_iters
+//! ```
+
+use crate::objective::{corr_grad_wrt_prototype, Objective};
+use focus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cuts a `[N, T]` series matrix into non-overlapping length-`p` segments
+/// from every entity, producing `[num_segments, p]`. Trailing partial
+/// segments are dropped (the paper assumes `p | T`).
+pub fn segment_matrix(series: &Tensor, p: usize) -> Tensor {
+    assert_eq!(series.rank(), 2, "segment_matrix expects [entities, time]");
+    assert!(p > 0, "segment length must be positive");
+    let (n, t) = (series.dims()[0], series.dims()[1]);
+    let per_entity = t / p;
+    assert!(per_entity > 0, "series length {t} shorter than segment {p}");
+    let mut data = Vec::with_capacity(n * per_entity * p);
+    for e in 0..n {
+        let row = series.row(e);
+        for s in 0..per_entity {
+            data.extend_from_slice(&row[s * p..(s + 1) * p]);
+        }
+    }
+    Tensor::from_vec(data, &[n * per_entity, p])
+}
+
+/// How prototypes are re-estimated each outer iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtoUpdate {
+    /// Closed-form bucket mean — classic k-means, exact minimiser of the
+    /// reconstruction loss alone.
+    ClosedFormMean,
+    /// AdamW gradient steps on `L_rec + α·L_corr` (the paper's §V choice).
+    AdamW {
+        /// Learning rate.
+        lr: f32,
+        /// Gradient steps per outer iteration.
+        steps: usize,
+        /// Decoupled weight decay.
+        weight_decay: f32,
+    },
+}
+
+impl ProtoUpdate {
+    /// The paper-faithful default: AdamW, a handful of inner steps.
+    pub fn paper_default() -> Self {
+        ProtoUpdate::AdamW {
+            lr: 0.05,
+            steps: 8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Configuration of one clustering run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of prototypes `k`.
+    pub k: usize,
+    /// Segment length `p`.
+    pub segment_len: usize,
+    /// Assignment / optimisation objective.
+    pub objective: Objective,
+    /// Prototype update rule.
+    pub update: ProtoUpdate,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+}
+
+impl ClusterConfig {
+    /// A config with the paper's defaults (`Rec+Corr`, α = 0.2, AdamW).
+    pub fn new(k: usize, segment_len: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(segment_len > 0, "segment_len must be positive");
+        ClusterConfig {
+            k,
+            segment_len,
+            objective: Objective::paper_default(),
+            update: ProtoUpdate::paper_default(),
+            max_iters: 30,
+        }
+    }
+
+    /// Overrides the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the prototype update rule.
+    pub fn with_update(mut self, update: ProtoUpdate) -> Self {
+        self.update = update;
+        self
+    }
+
+    /// Overrides the outer iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Runs Algorithm 1 on `segments: [n, p]`.
+    ///
+    /// # Panics
+    /// If the segment width differs from `segment_len` or there are fewer
+    /// segments than prototypes.
+    pub fn fit(&self, segments: &Tensor, seed: u64) -> Prototypes {
+        self.fit_traced(segments, seed).0
+    }
+
+    /// Like [`ClusterConfig::fit`] but also returns the per-iteration loss
+    /// trace (used by tests and the Fig. 8 harness).
+    pub fn fit_traced(&self, segments: &Tensor, seed: u64) -> (Prototypes, FitTrace) {
+        assert_eq!(segments.rank(), 2, "segments must be [n, p]");
+        let (n, p) = (segments.dims()[0], segments.dims()[1]);
+        assert_eq!(p, self.segment_len, "segment width {p} != segment_len {}", self.segment_len);
+        assert!(
+            n >= self.k,
+            "need at least k = {} segments, got {n}",
+            self.k
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a5_7e12u64.rotate_left(3));
+
+        let mut centers = kmeans_pp_init(segments, self.k, &self.objective, &mut rng);
+        let mut assignment = vec![usize::MAX; n];
+        let mut trace = FitTrace::default();
+        let mut adam = AdamState::new(self.k, p);
+
+        for iter in 0..self.max_iters {
+            // Assignment step (Eq. 6).
+            let mut changed = 0usize;
+            let mut loss = 0.0f64;
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                let seg = segments.row(i);
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for j in 0..self.k {
+                    let d = self.objective.distance(seg, centers.row(j));
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                if *slot != best {
+                    changed += 1;
+                    *slot = best;
+                }
+                loss += best_d as f64;
+            }
+            trace.loss_per_iter.push(loss / n as f64);
+
+            if changed == 0 && iter > 0 {
+                trace.converged_at = Some(iter);
+                break;
+            }
+
+            // Re-seed empty buckets from the farthest segment.
+            reseed_empty_buckets(segments, &mut centers, &mut assignment, &self.objective);
+
+            // Update step (Eqs. 8–10).
+            match self.update {
+                ProtoUpdate::ClosedFormMean => {
+                    update_mean(segments, &assignment, &mut centers);
+                }
+                ProtoUpdate::AdamW { lr, steps, weight_decay } => {
+                    update_adamw(
+                        segments,
+                        &assignment,
+                        &mut centers,
+                        &self.objective,
+                        &mut adam,
+                        lr,
+                        steps,
+                        weight_decay,
+                    );
+                }
+            }
+        }
+
+        (
+            Prototypes {
+                centers,
+                objective: self.objective,
+            },
+            trace,
+        )
+    }
+}
+
+/// Per-iteration diagnostics of a [`ClusterConfig::fit_traced`] run.
+#[derive(Default, Debug, Clone)]
+pub struct FitTrace {
+    /// Mean composite assignment distance after each assignment step.
+    pub loss_per_iter: Vec<f64>,
+    /// The iteration at which assignments stopped changing, if reached.
+    pub converged_at: Option<usize>,
+}
+
+/// The learned prototype set `C = {c_1, …, c_k}`.
+#[derive(Clone, Debug)]
+pub struct Prototypes {
+    pub(crate) centers: Tensor,
+    pub(crate) objective: Objective,
+}
+
+impl Prototypes {
+    /// Builds a prototype set directly (for tests and deserialisation).
+    pub fn from_centers(centers: Tensor, objective: Objective) -> Self {
+        assert_eq!(centers.rank(), 2, "centers must be [k, p]");
+        Prototypes { centers, objective }
+    }
+
+    /// The prototype matrix, `[k, p]`.
+    pub fn centers(&self) -> &Tensor {
+        &self.centers
+    }
+
+    /// Number of prototypes `k`.
+    pub fn k(&self) -> usize {
+        self.centers.dims()[0]
+    }
+
+    /// Segment length `p`.
+    pub fn segment_len(&self) -> usize {
+        self.centers.dims()[1]
+    }
+
+    /// The objective the prototypes were fitted under.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Index of the nearest prototype to `segment` under the fitted
+    /// objective (Eq. 6) — the online assignment of Algorithm 2, line 3.
+    pub fn assign(&self, segment: &[f32]) -> usize {
+        assert_eq!(
+            segment.len(),
+            self.segment_len(),
+            "segment length {} != prototype length {}",
+            segment.len(),
+            self.segment_len()
+        );
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for j in 0..self.k() {
+            let d = self.objective.distance(segment, self.centers.row(j));
+            if d < best_d {
+                best_d = d;
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Assigns every row of `segments: [n, p]`, returning the bucket index
+    /// per segment.
+    pub fn assign_all(&self, segments: &Tensor) -> Vec<usize> {
+        assert_eq!(segments.rank(), 2, "segments must be [n, p]");
+        (0..segments.dims()[0])
+            .map(|i| self.assign(segments.row(i)))
+            .collect()
+    }
+
+    /// The distance from `segment` to its nearest prototype.
+    pub fn nearest_distance(&self, segment: &[f32]) -> f32 {
+        let j = self.assign(segment);
+        self.objective.distance(segment, self.centers.row(j))
+    }
+}
+
+/// k-means++ seeding under the composite distance.
+fn kmeans_pp_init(segments: &Tensor, k: usize, objective: &Objective, rng: &mut StdRng) -> Tensor {
+    let (n, p) = (segments.dims()[0], segments.dims()[1]);
+    let mut centers = Tensor::zeros(&[k, p]);
+    let first = rng.gen_range(0..n);
+    centers.data_mut()[..p].copy_from_slice(segments.row(first));
+
+    let mut dists: Vec<f32> = (0..n)
+        .map(|i| objective.distance(segments.row(i), centers.row(0)))
+        .collect();
+
+    for j in 1..k {
+        let total: f64 = dists.iter().map(|&d| d.max(0.0) as f64).sum();
+        let pick = if total <= f64::EPSILON {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d.max(0.0) as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.data_mut()[j * p..(j + 1) * p].copy_from_slice(segments.row(pick));
+        for (i, d) in dists.iter_mut().enumerate() {
+            let nd = objective.distance(segments.row(i), centers.row(j));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// Moves any prototype with an empty bucket onto the segment currently
+/// farthest from its assigned prototype.
+fn reseed_empty_buckets(
+    segments: &Tensor,
+    centers: &mut Tensor,
+    assignment: &mut [usize],
+    objective: &Objective,
+) {
+    let k = centers.dims()[0];
+    let p = centers.dims()[1];
+    let mut counts = vec![0usize; k];
+    for &a in assignment.iter() {
+        counts[a] += 1;
+    }
+    for j in 0..k {
+        if counts[j] > 0 {
+            continue;
+        }
+        // Farthest segment from its own prototype.
+        let (mut worst_i, mut worst_d) = (0usize, -1.0f32);
+        for (i, &a) in assignment.iter().enumerate() {
+            let d = objective.distance(segments.row(i), centers.row(a));
+            if d > worst_d {
+                worst_d = d;
+                worst_i = i;
+            }
+        }
+        centers.data_mut()[j * p..(j + 1) * p].copy_from_slice(segments.row(worst_i));
+        counts[assignment[worst_i]] -= 1;
+        assignment[worst_i] = j;
+        counts[j] = 1;
+    }
+}
+
+/// Closed-form mean update (classic k-means).
+fn update_mean(segments: &Tensor, assignment: &[usize], centers: &mut Tensor) {
+    let (k, p) = (centers.dims()[0], centers.dims()[1]);
+    let mut sums = vec![0.0f64; k * p];
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignment.iter().enumerate() {
+        counts[a] += 1;
+        for (s, &v) in sums[a * p..(a + 1) * p].iter_mut().zip(segments.row(i)) {
+            *s += v as f64;
+        }
+    }
+    for j in 0..k {
+        if counts[j] == 0 {
+            continue;
+        }
+        let inv = 1.0 / counts[j] as f64;
+        for (c, &s) in centers.data_mut()[j * p..(j + 1) * p].iter_mut().zip(&sums[j * p..(j + 1) * p]) {
+            *c = (s * inv) as f32;
+        }
+    }
+}
+
+/// Per-prototype AdamW state.
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamState {
+    fn new(k: usize, p: usize) -> Self {
+        AdamState {
+            m: vec![0.0; k * p],
+            v: vec![0.0; k * p],
+            t: 0,
+        }
+    }
+}
+
+/// AdamW steps on `L_j = ‖c_j − mean(B_j)‖² + α · (−|B_j|⁻¹ Σ corr)`,
+/// following Eqs. 8–10.
+#[allow(clippy::too_many_arguments)]
+fn update_adamw(
+    segments: &Tensor,
+    assignment: &[usize],
+    centers: &mut Tensor,
+    objective: &Objective,
+    adam: &mut AdamState,
+    lr: f32,
+    steps: usize,
+    weight_decay: f32,
+) {
+    let (k, p) = (centers.dims()[0], centers.dims()[1]);
+    let alpha = objective.alpha();
+
+    // Bucket membership and means (the mean is constant during inner steps).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignment.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut bucket_means = vec![0.0f32; k * p];
+    for j in 0..k {
+        if members[j].is_empty() {
+            bucket_means[j * p..(j + 1) * p].copy_from_slice(centers.row(j));
+            continue;
+        }
+        let inv = 1.0 / members[j].len() as f32;
+        for &i in &members[j] {
+            for (m, &v) in bucket_means[j * p..(j + 1) * p].iter_mut().zip(segments.row(i)) {
+                *m += v * inv;
+            }
+        }
+    }
+
+    let (beta1, beta2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+    let mut grad = vec![0.0f32; p];
+    let mut corr_g = vec![0.0f32; p];
+    for _ in 0..steps {
+        adam.t += 1;
+        let bc1 = 1.0 - beta1.powi(adam.t as i32);
+        let bc2 = 1.0 - beta2.powi(adam.t as i32);
+        for j in 0..k {
+            if members[j].is_empty() {
+                continue;
+            }
+            // ∇L_rec = 2(c − mean(B_j))
+            for ((g, &c), &m) in grad
+                .iter_mut()
+                .zip(centers.row(j))
+                .zip(&bucket_means[j * p..(j + 1) * p])
+            {
+                *g = 2.0 * (c - m);
+            }
+            // ∇L_corr = −|B_j|⁻¹ Σ ∂corr/∂c
+            if alpha > 0.0 {
+                let inv = 1.0 / members[j].len() as f32;
+                for &i in &members[j] {
+                    corr_grad_wrt_prototype(segments.row(i), centers.row(j), &mut corr_g);
+                    for (g, &cg) in grad.iter_mut().zip(&corr_g) {
+                        *g -= alpha * inv * cg;
+                    }
+                }
+            }
+            // AdamW step with decoupled decay.
+            let base = j * p;
+            let row = &mut centers.data_mut()[base..base + p];
+            for (idx, (c, &g)) in row.iter_mut().zip(&grad).enumerate() {
+                if weight_decay > 0.0 {
+                    *c *= 1.0 - lr * weight_decay;
+                }
+                let mi = &mut adam.m[base + idx];
+                let vi = &mut adam.v[base + idx];
+                *mi = beta1 * *mi + (1.0 - beta1) * g;
+                *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *c -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_tensor::stats;
+
+    /// Three well-separated planted clusters of segments.
+    fn planted(n_per: usize, p: usize) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let shapes: [fn(f32) -> f32; 3] = [
+            |u| (2.0 * std::f32::consts::PI * u).sin(),
+            |u| 2.0 * u - 1.0,
+            |u| if u > 0.5 { 1.0 } else { -1.0 },
+        ];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (c, shape) in shapes.iter().enumerate() {
+            for _ in 0..n_per {
+                let noise: f32 = rng.gen_range(0.0..0.1);
+                for i in 0..p {
+                    let u = i as f32 / p as f32;
+                    data.push(shape(u) + noise * rng.gen_range(-1.0f32..1.0));
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, &[3 * n_per, p]), labels)
+    }
+
+    /// Clustering accuracy up to label permutation (3 clusters).
+    fn purity(assign: &[usize], truth: &[usize], k: usize) -> f64 {
+        let mut count = vec![vec![0usize; 3]; k];
+        for (&a, &t) in assign.iter().zip(truth) {
+            count[a][t] += 1;
+        }
+        let correct: usize = count.iter().map(|c| c.iter().max().copied().unwrap_or(0)).sum();
+        correct as f64 / assign.len() as f64
+    }
+
+    #[test]
+    fn recovers_planted_clusters_with_mean_update() {
+        let (segs, truth) = planted(40, 16);
+        let cfg = ClusterConfig::new(3, 16)
+            .with_objective(Objective::RecOnly)
+            .with_update(ProtoUpdate::ClosedFormMean);
+        let protos = cfg.fit(&segs, 1);
+        let assign = protos.assign_all(&segs);
+        assert!(purity(&assign, &truth, 3) > 0.95);
+    }
+
+    #[test]
+    fn recovers_planted_clusters_with_adamw_update() {
+        let (segs, truth) = planted(40, 16);
+        let cfg = ClusterConfig::new(3, 16); // paper defaults: Rec+Corr, AdamW
+        let protos = cfg.fit(&segs, 2);
+        let assign = protos.assign_all(&segs);
+        assert!(purity(&assign, &truth, 3) > 0.9);
+    }
+
+    #[test]
+    fn loss_trace_is_monotone_nonincreasing_for_kmeans() {
+        let (segs, _) = planted(30, 8);
+        let cfg = ClusterConfig::new(4, 8)
+            .with_objective(Objective::RecOnly)
+            .with_update(ProtoUpdate::ClosedFormMean);
+        let (_, trace) = cfg.fit_traced(&segs, 3);
+        for w in trace.loss_per_iter.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "loss increased: {:?}", trace.loss_per_iter);
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_iteration() {
+        let (segs, _) = planted(30, 8);
+        let cfg = ClusterConfig::new(3, 8)
+            .with_objective(Objective::RecOnly)
+            .with_update(ProtoUpdate::ClosedFormMean)
+            .with_max_iters(50);
+        let (_, trace) = cfg.fit_traced(&segs, 4);
+        assert!(trace.converged_at.is_some(), "did not converge in 50 iters");
+    }
+
+    #[test]
+    fn rec_corr_prototypes_align_in_shape() {
+        // With a strong correlation weight, prototypes should correlate with
+        // their members even when amplitudes vary.
+        let p = 16;
+        let mut data = Vec::new();
+        for amp_i in 0..30 {
+            let amp = 0.5 + amp_i as f32 * 0.1;
+            for i in 0..p {
+                let u = i as f32 / p as f32;
+                data.push(amp * (2.0 * std::f32::consts::PI * u).sin());
+            }
+        }
+        let segs = Tensor::from_vec(data, &[30, p]);
+        let cfg = ClusterConfig::new(2, p).with_objective(Objective::rec_corr(2.0));
+        let protos = cfg.fit(&segs, 5);
+        let assign = protos.assign_all(&segs);
+        for (i, &a) in assign.iter().enumerate() {
+            let r = stats::pearson(segs.row(i), protos.centers().row(a));
+            assert!(r > 0.8, "segment {i} corr {r}");
+        }
+    }
+
+    #[test]
+    fn segment_matrix_layout() {
+        let series = Tensor::from_vec((0..20).map(|v| v as f32).collect(), &[2, 10]);
+        let segs = segment_matrix(&series, 4);
+        // 2 entities × 2 full segments each (tail of 2 dropped).
+        assert_eq!(segs.dims(), &[4, 4]);
+        assert_eq!(segs.row(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(segs.row(2), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (segs, _) = planted(20, 8);
+        let cfg = ClusterConfig::new(3, 8);
+        let a = cfg.fit(&segs, 7);
+        let b = cfg.fit(&segs, 7);
+        assert_eq!(a.centers().data(), b.centers().data());
+    }
+
+    #[test]
+    fn assign_is_stable_under_refit_objective() {
+        let (segs, _) = planted(20, 8);
+        let protos = ClusterConfig::new(3, 8).fit(&segs, 8);
+        for i in 0..segs.dims()[0] {
+            let j = protos.assign(segs.row(i));
+            assert!(j < 3);
+            assert!(protos.nearest_distance(segs.row(i)).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn rejects_more_prototypes_than_segments() {
+        let segs = Tensor::zeros(&[2, 4]);
+        let _ = ClusterConfig::new(3, 4).fit(&segs, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Prototype persistence: a small self-describing text format.
+//!
+//! The offline phase runs once per dataset; its output — the prototype set —
+//! is what the online phase loads. To keep the dependency set minimal we use
+//! a line-oriented text format instead of pulling in a serialisation crate:
+//!
+//! ```text
+//! focus-prototypes v1
+//! k <k> p <p> objective <rec|reccorr> alpha <alpha>
+//! <p floats of prototype 0, space-separated>
+//! …
+//! <p floats of prototype k-1>
+//! ```
+
+use crate::engine::Prototypes;
+use crate::objective::Objective;
+use focus_tensor::Tensor;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const MAGIC: &str = "focus-prototypes v1";
+
+/// Errors from [`Prototypes::load`] / parsing.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid prototype dump (with a reason).
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl Prototypes {
+    /// Serialises the prototype set to the text format.
+    pub fn to_text(&self) -> String {
+        let (k, p) = (self.k(), self.segment_len());
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        match self.objective() {
+            Objective::RecOnly => {
+                let _ = writeln!(out, "k {k} p {p} objective rec alpha 0");
+            }
+            Objective::RecCorr { alpha } => {
+                let _ = writeln!(out, "k {k} p {p} objective reccorr alpha {alpha}");
+            }
+        }
+        for j in 0..k {
+            let row = self.centers().row(j);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a prototype set from the text format.
+    pub fn from_text(text: &str) -> Result<Prototypes, PersistError> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or_else(|| PersistError::Format("empty file".into()))?;
+        if magic.trim() != MAGIC {
+            return Err(PersistError::Format(format!("bad magic line: {magic:?}")));
+        }
+        let header = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("missing header".into()))?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 8 || fields[0] != "k" || fields[2] != "p" || fields[4] != "objective" || fields[6] != "alpha" {
+            return Err(PersistError::Format(format!("bad header: {header:?}")));
+        }
+        let k: usize = fields[1]
+            .parse()
+            .map_err(|_| PersistError::Format(format!("bad k: {}", fields[1])))?;
+        let p: usize = fields[3]
+            .parse()
+            .map_err(|_| PersistError::Format(format!("bad p: {}", fields[3])))?;
+        let alpha: f32 = fields[7]
+            .parse()
+            .map_err(|_| PersistError::Format(format!("bad alpha: {}", fields[7])))?;
+        let objective = match fields[5] {
+            "rec" => Objective::RecOnly,
+            "reccorr" => Objective::RecCorr { alpha },
+            other => return Err(PersistError::Format(format!("unknown objective: {other}"))),
+        };
+        let mut data = Vec::with_capacity(k * p);
+        for j in 0..k {
+            let line = lines
+                .next()
+                .ok_or_else(|| PersistError::Format(format!("missing prototype row {j}")))?;
+            let values: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+            let values = values.map_err(|_| PersistError::Format(format!("bad float in row {j}")))?;
+            if values.len() != p {
+                return Err(PersistError::Format(format!(
+                    "row {j} has {} values, expected {p}",
+                    values.len()
+                )));
+            }
+            data.extend_from_slice(&values);
+        }
+        Ok(Prototypes::from_centers(Tensor::from_vec(data, &[k, p]), objective))
+    }
+
+    /// Writes the prototype set to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Reads a prototype set from `path`.
+    pub fn load(path: &Path) -> Result<Prototypes, PersistError> {
+        let text = std::fs::read_to_string(path)?;
+        Prototypes::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Prototypes {
+        Prototypes::from_centers(
+            Tensor::from_vec(vec![1.0, -2.5, 0.125, 3.0, 0.0, -1.0], &[2, 3]),
+            Objective::rec_corr(0.2),
+        )
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let p = sample();
+        let text = p.to_text();
+        let q = Prototypes::from_text(&text).unwrap();
+        assert_eq!(p.centers().data(), q.centers().data());
+        assert_eq!(p.objective(), q.objective());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = sample();
+        let dir = std::env::temp_dir().join("focus-cluster-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("protos.txt");
+        p.save(&path).unwrap();
+        let q = Prototypes::load(&path).unwrap();
+        assert_eq!(p.centers().data(), q.centers().data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(Prototypes::from_text("").is_err());
+        assert!(Prototypes::from_text("wrong magic\n").is_err());
+        let p = sample();
+        let mut text = p.to_text();
+        text.push_str("trailing garbage is fine actually\n");
+        // Trailing lines are ignored; truncation is not.
+        assert!(Prototypes::from_text(&text).is_ok());
+        let truncated: String = p.to_text().lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(Prototypes::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn rec_only_round_trip() {
+        let p = Prototypes::from_centers(Tensor::zeros(&[1, 2]), Objective::RecOnly);
+        let q = Prototypes::from_text(&p.to_text()).unwrap();
+        assert_eq!(q.objective(), Objective::RecOnly);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the clustering engine's invariants.
+
+use focus_cluster::{segment_matrix, ClusterConfig, Objective, ProtoUpdate};
+use focus_tensor::Tensor;
+use proptest::prelude::*;
+
+fn segments(n: usize, p: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-5.0f32..5.0, n * p).prop_map(move |v| Tensor::from_vec(v, &[n, p]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn assignment_is_nearest_under_objective(segs in segments(24, 6), alpha in 0.0f32..1.0) {
+        let objective = if alpha < 0.05 { Objective::RecOnly } else { Objective::rec_corr(alpha) };
+        let protos = ClusterConfig::new(4, 6)
+            .with_objective(objective)
+            .with_max_iters(8)
+            .fit(&segs, 1);
+        for i in 0..24 {
+            let seg = segs.row(i);
+            let assigned = protos.assign(seg);
+            let d_assigned = objective.distance(seg, protos.centers().row(assigned));
+            for j in 0..4 {
+                let d = objective.distance(seg, protos.centers().row(j));
+                prop_assert!(
+                    d_assigned <= d + 1e-4,
+                    "segment {i}: assigned bucket {assigned} at {d_assigned} but bucket {j} at {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prototypes_are_finite_and_shaped(segs in segments(16, 8)) {
+        let protos = ClusterConfig::new(3, 8).with_max_iters(6).fit(&segs, 2);
+        prop_assert_eq!(protos.centers().dims(), &[3, 8]);
+        prop_assert!(protos.centers().all_finite());
+    }
+
+    #[test]
+    fn every_bucket_is_used_when_data_has_spread(shift in 1.0f32..5.0) {
+        // Three well-separated constant levels: every prototype must attract
+        // at least one segment (the empty-bucket reseeding invariant).
+        let mut data = Vec::new();
+        for c in 0..3 {
+            for _ in 0..10 {
+                data.extend(std::iter::repeat_n(c as f32 * shift, 4));
+            }
+        }
+        let segs = Tensor::from_vec(data, &[30, 4]);
+        let protos = ClusterConfig::new(3, 4)
+            .with_objective(Objective::RecOnly)
+            .with_update(ProtoUpdate::ClosedFormMean)
+            .with_max_iters(10)
+            .fit(&segs, 3);
+        let mut used = [false; 3];
+        for a in protos.assign_all(&segs) {
+            used[a] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u), "unused bucket: {used:?}");
+    }
+
+    #[test]
+    fn persistence_round_trip(segs in segments(12, 5)) {
+        let protos = ClusterConfig::new(2, 5).with_max_iters(4).fit(&segs, 4);
+        let restored = focus_cluster::Prototypes::from_text(&protos.to_text()).unwrap();
+        prop_assert_eq!(protos.centers().data(), restored.centers().data());
+        // Assignments must be identical after the round trip.
+        for i in 0..12 {
+            prop_assert_eq!(protos.assign(segs.row(i)), restored.assign(segs.row(i)));
+        }
+    }
+
+    #[test]
+    fn segment_matrix_row_count(entities in 1usize..5, t in 8usize..40, p in 2usize..8) {
+        let series = Tensor::zeros(&[entities, t]);
+        let segs = segment_matrix(&series, p);
+        prop_assert_eq!(segs.dims(), &[entities * (t / p), p]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Ablation variants of FOCUS (paper §VIII-C, Table IV):
+//!
+//! * **FOCUS-Attn** — the ProtoAttn extractors are replaced with full
+//!   self-attention layers (quadratic in `l` and `N`);
+//! * **FOCUS-LnrFusion** — the Parallel Fusion Module is replaced by a gated
+//!   linear layer over the flattened branch features;
+//! * **FOCUS-AllLnr** — both the extractors *and* the fusion are linear.
+//!
+//! All variants share the [`Forecaster`] pipeline, so Table IV compares
+//! architectures under identical training.
+
+use crate::extractor::{DualBranchExtractor, SegmentEmbedding};
+use crate::forecaster::Forecaster;
+use crate::fusion::ParallelFusion;
+use crate::model::FocusConfig;
+use focus_autograd::{Graph, ParamStore, ParamVars, Var};
+use focus_cluster::Prototypes;
+use focus_nn::{CostReport, LayerNorm, Linear, SelfAttention};
+use focus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which Table IV variant to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AblationVariant {
+    /// The full model (ProtoAttn extractors + Parallel Fusion).
+    Full,
+    /// Self-attention extractors + Parallel Fusion.
+    Attn,
+    /// ProtoAttn extractors + gated linear fusion.
+    LnrFusion,
+    /// Linear extractors + gated linear fusion.
+    AllLnr,
+}
+
+impl AblationVariant {
+    /// All four variants in the Table IV row order.
+    pub const ALL: [AblationVariant; 4] = [
+        AblationVariant::Full,
+        AblationVariant::Attn,
+        AblationVariant::LnrFusion,
+        AblationVariant::AllLnr,
+    ];
+
+    /// The row label used in Table IV.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AblationVariant::Full => "FOCUS",
+            AblationVariant::Attn => "FOCUS-Attn",
+            AblationVariant::LnrFusion => "FOCUS-LnrFusion",
+            AblationVariant::AllLnr => "FOCUS-AllLnr",
+        }
+    }
+}
+
+/// Feature-extraction stage of an ablation model.
+enum Extract {
+    Proto(DualBranchExtractor),
+    Attn {
+        embed: SegmentEmbedding,
+        attn_t: SelfAttention,
+        attn_e: SelfAttention,
+        ln_t: LayerNorm,
+        ln_e: LayerNorm,
+    },
+    Linear {
+        embed: SegmentEmbedding,
+        ln: LayerNorm,
+    },
+}
+
+/// Fusion stage of an ablation model.
+enum Fuse {
+    Parallel(ParallelFusion),
+    /// Gated linear unit over the concatenated flattened branches:
+    /// `y = (z·W₁) ⊙ σ(z·W₂)`, `z = [flat(H_t); flat(H_e)]`.
+    GatedLinear {
+        w1: Linear,
+        w2: Linear,
+    },
+}
+
+/// One Table IV model.
+pub struct FocusAblation {
+    variant: AblationVariant,
+    cfg: FocusConfig,
+    ps: ParamStore,
+    extract: Extract,
+    fuse: Fuse,
+}
+
+impl FocusAblation {
+    /// Builds a variant around an already-fitted prototype set (variants
+    /// share prototypes so only the online architecture differs).
+    pub fn with_prototypes(
+        variant: AblationVariant,
+        cfg: FocusConfig,
+        prototypes: &Prototypes,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xab1a);
+        let mut ps = ParamStore::new();
+        let (p, d) = (cfg.segment_len, cfg.d);
+        let l = cfg.n_segments();
+
+        let extract = match variant {
+            AblationVariant::Full | AblationVariant::LnrFusion => {
+                Extract::Proto(DualBranchExtractor::new(
+                    &mut ps,
+                    "extractor",
+                    prototypes,
+                    d,
+                    l,
+                    cfg.assignment,
+                    &mut rng,
+                ))
+            }
+            AblationVariant::Attn => Extract::Attn {
+                embed: SegmentEmbedding::new(&mut ps, "extractor.embed", p, d, l, &mut rng),
+                attn_t: SelfAttention::new(&mut ps, "extractor.attn_t", d, &mut rng),
+                attn_e: SelfAttention::new(&mut ps, "extractor.attn_e", d, &mut rng),
+                ln_t: LayerNorm::new(&mut ps, "extractor.ln_t", d),
+                ln_e: LayerNorm::new(&mut ps, "extractor.ln_e", d),
+            },
+            AblationVariant::AllLnr => Extract::Linear {
+                embed: SegmentEmbedding::new(&mut ps, "extractor.embed", p, d, l, &mut rng),
+                ln: LayerNorm::new(&mut ps, "extractor.ln", d),
+            },
+        };
+
+        let fuse = match variant {
+            AblationVariant::Full | AblationVariant::Attn => Fuse::Parallel(ParallelFusion::new(
+                &mut ps,
+                "fusion",
+                cfg.readout,
+                d,
+                cfg.horizon,
+                &mut rng,
+            )),
+            AblationVariant::LnrFusion | AblationVariant::AllLnr => Fuse::GatedLinear {
+                w1: Linear::new(&mut ps, "fusion.w1", 2 * l * d, cfg.horizon, &mut rng),
+                w2: Linear::new(&mut ps, "fusion.w2", 2 * l * d, cfg.horizon, &mut rng),
+            },
+        };
+
+        FocusAblation {
+            variant,
+            cfg,
+            ps,
+            extract,
+            fuse,
+        }
+    }
+
+    /// The variant this model implements.
+    pub fn variant(&self) -> AblationVariant {
+        self.variant
+    }
+
+    /// Segment view `[N, l, p]` of a window `[N, L]`.
+    fn segment_view(&self, x: &Tensor) -> Tensor {
+        let (n, len) = (x.dims()[0], x.dims()[1]);
+        let p = self.cfg.segment_len;
+        assert_eq!(len % p, 0, "lookback {len} not divisible by segment length {p}");
+        x.reshape(&[n, len / p, p])
+    }
+
+    /// Runs the extraction stage, returning `(H_t, H_e)`, each `[N, l, d]`.
+    fn extract(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> (Var, Var) {
+        match &self.extract {
+            Extract::Proto(ext) => {
+                let a_t = ext.assignments(x_norm);
+                ext.forward(g, pv, x_norm, &a_t)
+            }
+            Extract::Attn {
+                embed,
+                attn_t,
+                attn_e,
+                ln_t,
+                ln_e,
+            } => {
+                let p_t = g.constant(self.segment_view(x_norm)); // [N, l, p]
+                let emb_t = embed.forward(g, pv, p_t); // [N, l, d]
+                let at = attn_t.forward(g, pv, emb_t);
+                let sum_t = g.add(at, emb_t);
+                let h_t = ln_t.forward(g, pv, sum_t);
+
+                let emb_e = g.swap_axes01(emb_t); // [l, N, d]
+                let ae = attn_e.forward(g, pv, emb_e);
+                let sum_e = g.add(ae, emb_e);
+                let h_e_raw = ln_e.forward(g, pv, sum_e);
+                let h_e = g.swap_axes01(h_e_raw);
+                (h_t, h_e)
+            }
+            Extract::Linear { embed, ln } => {
+                let p_t = g.constant(self.segment_view(x_norm));
+                let emb = embed.forward(g, pv, p_t);
+                let h = ln.forward(g, pv, emb);
+                // Without mixing there is a single feature tensor; both
+                // "branches" are that tensor.
+                (h, h)
+            }
+        }
+    }
+
+    /// Runs the fusion stage on aligned `[N, l, d]` branches.
+    fn fuse(&self, g: &mut Graph, pv: &ParamVars, h_t: Var, h_e: Var) -> Var {
+        match &self.fuse {
+            Fuse::Parallel(fusion) => fusion.forward(g, pv, h_t, h_e),
+            Fuse::GatedLinear { w1, w2 } => {
+                let dims = g.value(h_t).dims().to_vec();
+                let (n, l, d) = (dims[0], dims[1], dims[2]);
+                let flat_t = g.reshape(h_t, &[n, l * d]);
+                let flat_e = g.reshape(h_e, &[n, l * d]);
+                let z = g.concat_last(flat_t, flat_e); // [N, 2ld]
+                let lin = w1.forward(g, pv, z);
+                let gate_logits = w2.forward(g, pv, z);
+                let gate = g.sigmoid(gate_logits);
+                g.mul(lin, gate)
+            }
+        }
+    }
+}
+
+impl Forecaster for FocusAblation {
+    fn name(&self) -> &str {
+        self.variant.label()
+    }
+
+    fn lookback(&self) -> usize {
+        self.cfg.lookback
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn forward_window(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> Var {
+        let (h_t, h_e) = self.extract(g, pv, x_norm);
+        self.fuse(g, pv, h_t, h_e)
+    }
+
+    fn cost(&self, entities: usize) -> CostReport {
+        let l = self.cfg.n_segments();
+        let d = self.cfg.d;
+        let ext = match &self.extract {
+            Extract::Proto(ext) => ext.cost(entities, l),
+            Extract::Attn {
+                embed,
+                attn_t,
+                attn_e,
+                ln_t,
+                ln_e,
+            } => {
+                embed.cost(entities)
+                    + attn_t.cost(entities, l)
+                    + attn_e.cost(l, entities)
+                    + ln_t.cost(entities * l)
+                    + ln_e.cost(entities * l)
+            }
+            Extract::Linear { embed, ln } => embed.cost(entities) + ln.cost(entities * l),
+        };
+        let fuse = match &self.fuse {
+            Fuse::Parallel(fusion) => fusion.cost(entities, l),
+            Fuse::GatedLinear { w1, w2 } => {
+                w1.cost(entities) + w2.cost(entities) + CostReport::pointwise(entities * self.cfg.horizon, 2)
+            }
+        };
+        let _ = d;
+        ext + fuse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::TrainOptions;
+    use focus_data::{Benchmark, MtsDataset, Split};
+
+    fn fixture() -> (MtsDataset, FocusConfig, Prototypes) {
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(5, 1_200), 17);
+        let mut cfg = FocusConfig::new(48, 12);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 4;
+        cfg.d = 12;
+        cfg.readout = 3;
+        cfg.cluster_iters = 6;
+        let protos = cfg.cluster(&ds.train_matrix(), 1);
+        (ds, cfg, protos)
+    }
+
+    #[test]
+    fn all_variants_forward_and_train() {
+        let (ds, cfg, protos) = fixture();
+        for variant in AblationVariant::ALL {
+            let mut model = FocusAblation::with_prototypes(variant, cfg.clone(), &protos, 2);
+            let w = ds.window_at(0, 48, 12);
+            let pred = model.predict(&w.x);
+            assert_eq!(pred.dims(), &[5, 12], "{variant:?}");
+            assert!(pred.all_finite(), "{variant:?}");
+            let report = model.train(
+                &ds,
+                &TrainOptions {
+                    epochs: 2,
+                    max_windows: 12,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                report.epoch_losses[1].is_finite(),
+                "{variant:?} produced NaN loss"
+            );
+        }
+    }
+
+    #[test]
+    fn attn_variant_costs_more_flops_than_full() {
+        // Table IV: FOCUS-Attn has higher FLOPs and memory than FOCUS.
+        let (_, cfg, protos) = fixture();
+        let full = FocusAblation::with_prototypes(AblationVariant::Full, cfg.clone(), &protos, 3);
+        let attn = FocusAblation::with_prototypes(AblationVariant::Attn, cfg.clone(), &protos, 3);
+        // Evaluate at a larger entity count / sequence so the quadratic term
+        // dominates, as in the paper's PEMS08 setting.
+        let (cf, ca) = (full.cost(64), attn.cost(64));
+        assert!(ca.flops > cf.flops, "attn {} <= full {}", ca.flops, cf.flops);
+        assert!(ca.peak_mem_bytes > cf.peak_mem_bytes);
+    }
+
+    #[test]
+    fn all_lnr_is_cheapest() {
+        // Table IV: FOCUS-AllLnr has the lowest FLOPs and memory.
+        let (_, cfg, protos) = fixture();
+        let costs: Vec<(AblationVariant, CostReport)> = AblationVariant::ALL
+            .iter()
+            .map(|&v| {
+                (
+                    v,
+                    FocusAblation::with_prototypes(v, cfg.clone(), &protos, 4).cost(64),
+                )
+            })
+            .collect();
+        let all_lnr = costs
+            .iter()
+            .find(|(v, _)| *v == AblationVariant::AllLnr)
+            .unwrap()
+            .1;
+        for (v, c) in &costs {
+            if *v != AblationVariant::AllLnr {
+                assert!(
+                    all_lnr.flops <= c.flops,
+                    "AllLnr {} > {v:?} {}",
+                    all_lnr.flops,
+                    c.flops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lnr_fusion_has_more_params_than_full() {
+        // Table IV: FOCUS-LnrFusion's flattened gated-linear head inflates
+        // the parameter count relative to FOCUS.
+        let (_, cfg, protos) = fixture();
+        let full = FocusAblation::with_prototypes(AblationVariant::Full, cfg.clone(), &protos, 5);
+        let lnr = FocusAblation::with_prototypes(AblationVariant::LnrFusion, cfg.clone(), &protos, 5);
+        assert!(lnr.cost(64).params > full.cost(64).params);
+    }
+
+    #[test]
+    fn param_counts_match_stores() {
+        let (_, cfg, protos) = fixture();
+        for v in AblationVariant::ALL {
+            let m = FocusAblation::with_prototypes(v, cfg.clone(), &protos, 6);
+            assert_eq!(
+                m.cost(5).params,
+                m.params().scalar_count(),
+                "{v:?} param accounting diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_can_be_evaluated() {
+        let (ds, cfg, protos) = fixture();
+        let model = FocusAblation::with_prototypes(AblationVariant::AllLnr, cfg, &protos, 7);
+        let m = model.evaluate(&ds, Split::Test, 48);
+        assert!(m.mse().is_finite());
+    }
+}

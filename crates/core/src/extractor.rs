@@ -1,0 +1,403 @@
+//! The dual-branch feature extractor (paper §VII-A, Algorithm 3).
+//!
+//! Given a lookback window `X: [N, L]` cut into `l = L/p` segments per
+//! entity:
+//!
+//! * the **temporal branch** runs ProtoAttn over each entity's `l` segments,
+//!   modelling dependencies *across time* within an entity;
+//! * the **entity branch** runs ProtoAttn over the `N` entities' segments at
+//!   each segment position, modelling dependencies *across entities* at the
+//!   same time.
+//!
+//! Both are wrapped in `LayerNorm(OnlineModeling(P) + Embed(P))`. The paper's
+//! Algorithm 3 writes the residual as `+ P`, with `P ∈ R^{l×p}` and the
+//! attention output in `R^{l×d}`; since those widths differ, the standard
+//! resolution — a shared linear input embedding `p → d` providing the
+//! residual path — is used here (this is also what PatchTST does with its
+//! patch embedding).
+
+use crate::protoattn::{Assignment, ProtoAttn};
+use focus_autograd::{Graph, ParamId, ParamStore, ParamVars, Var};
+use focus_cluster::Prototypes;
+use focus_nn::{init, CostReport, LayerNorm, Linear};
+use focus_tensor::Tensor;
+use rand::Rng;
+
+/// Segment embedding with learnable temporal positional encodings:
+/// `E[n, i, :] = P[n, i, :]·W + b + pos[i, :]`.
+///
+/// ProtoAttn's readout (and the downstream Parallel Fusion) is otherwise
+/// permutation-invariant over segments — without a positional term the model
+/// cannot tell *when* a motif occurred, which forecasting obviously needs.
+/// The paper does not spell this out, but every patch-transformer it builds
+/// on (PatchTST, Crossformer) carries positional embeddings.
+pub struct SegmentEmbedding {
+    linear: Linear,
+    pos: ParamId,
+    n_segments: usize,
+    d: usize,
+}
+
+impl SegmentEmbedding {
+    /// An embedding `p → d` for windows of exactly `n_segments` segments.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        p: usize,
+        d: usize,
+        n_segments: usize,
+        rng: &mut R,
+    ) -> Self {
+        SegmentEmbedding {
+            linear: Linear::new(ps, &format!("{name}.linear"), p, d, rng),
+            pos: ps.add(format!("{name}.pos"), init::normal(&[n_segments, d], 0.1, rng)),
+            n_segments,
+            d,
+        }
+    }
+
+    /// Embeds `segments: [N, l, p]` into `[N, l, d]`, adding the positional
+    /// table (broadcast over entities).
+    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, segments: Var) -> Var {
+        let dims = g.value(segments).dims().to_vec();
+        assert_eq!(dims.len(), 3, "SegmentEmbedding expects [N, l, p]");
+        assert_eq!(
+            dims[1], self.n_segments,
+            "window has {} segments, embedding built for {}",
+            dims[1], self.n_segments
+        );
+        let emb = self.linear.forward(g, pv, segments); // [N, l, d]
+        let flat = g.reshape(emb, &[dims[0], self.n_segments * self.d]);
+        let pos = g.reshape(pv.var(self.pos), &[self.n_segments * self.d]);
+        let with_pos = g.add_row_broadcast(flat, pos);
+        g.reshape(with_pos, &[dims[0], self.n_segments, self.d])
+    }
+
+    /// Analytic cost over `n` entities.
+    pub fn cost(&self, n: usize) -> CostReport {
+        self.linear.cost(n * self.n_segments)
+            + CostReport {
+                flops: (n * self.n_segments * self.d) as u64,
+                params: (self.n_segments * self.d) as u64,
+                peak_mem_bytes: (n * self.n_segments * self.d * 4) as u64,
+            }
+    }
+}
+
+/// One stacked refinement layer of a branch: ProtoAttn over the previous
+/// features plus residual + LayerNorm.
+struct RefineLayer {
+    attn: ProtoAttn,
+    ln: LayerNorm,
+}
+
+/// Dual-branch extractor producing aligned `[N, l, d]` temporal and entity
+/// feature tensors.
+///
+/// The paper uses a single layer per branch (§VIII-A); `new_stacked` builds
+/// the natural multi-layer extension where additional ProtoAttn layers
+/// refine the `d`-wide features (assignments stay fixed to the raw-segment
+/// buckets).
+pub struct DualBranchExtractor {
+    embed: SegmentEmbedding,
+    temporal: ProtoAttn,
+    entity: ProtoAttn,
+    ln_t: LayerNorm,
+    ln_e: LayerNorm,
+    temporal_stack: Vec<RefineLayer>,
+    entity_stack: Vec<RefineLayer>,
+    assignment: Assignment,
+    prototypes: Prototypes,
+    segment_len: usize,
+    d: usize,
+}
+
+impl DualBranchExtractor {
+    /// Builds the paper's single-layer extractor around an offline prototype
+    /// set, for windows of exactly `n_segments` segments.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        prototypes: &Prototypes,
+        d: usize,
+        n_segments: usize,
+        assignment: Assignment,
+        rng: &mut R,
+    ) -> Self {
+        Self::new_stacked(ps, name, prototypes, d, n_segments, 1, assignment, rng)
+    }
+
+    /// Builds an extractor with `n_layers ≥ 1` ProtoAttn layers per branch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_stacked<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        prototypes: &Prototypes,
+        d: usize,
+        n_segments: usize,
+        n_layers: usize,
+        assignment: Assignment,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n_layers >= 1, "need at least one extractor layer");
+        let p = prototypes.segment_len();
+        let mut temporal_stack = Vec::new();
+        let mut entity_stack = Vec::new();
+        for layer in 1..n_layers {
+            temporal_stack.push(RefineLayer {
+                attn: ProtoAttn::with_kv_dim(
+                    ps,
+                    &format!("{name}.temporal{layer}"),
+                    prototypes,
+                    d,
+                    d,
+                    rng,
+                ),
+                ln: LayerNorm::new(ps, &format!("{name}.ln_t{layer}"), d),
+            });
+            entity_stack.push(RefineLayer {
+                attn: ProtoAttn::with_kv_dim(
+                    ps,
+                    &format!("{name}.entity{layer}"),
+                    prototypes,
+                    d,
+                    d,
+                    rng,
+                ),
+                ln: LayerNorm::new(ps, &format!("{name}.ln_e{layer}"), d),
+            });
+        }
+        DualBranchExtractor {
+            embed: SegmentEmbedding::new(ps, &format!("{name}.embed"), p, d, n_segments, rng),
+            temporal: ProtoAttn::new(ps, &format!("{name}.temporal"), prototypes, d, rng),
+            entity: ProtoAttn::new(ps, &format!("{name}.entity"), prototypes, d, rng),
+            ln_t: LayerNorm::new(ps, &format!("{name}.ln_t"), d),
+            ln_e: LayerNorm::new(ps, &format!("{name}.ln_e"), d),
+            temporal_stack,
+            entity_stack,
+            assignment,
+            prototypes: prototypes.clone(),
+            segment_len: p,
+            d,
+        }
+    }
+
+    /// Number of ProtoAttn layers per branch.
+    pub fn n_layers(&self) -> usize {
+        1 + self.temporal_stack.len()
+    }
+
+    /// Feature width `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Segment length `p`.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    /// The temporal-branch ProtoAttn (exposed for the Fig. 13 case study).
+    pub fn temporal_attn(&self) -> &ProtoAttn {
+        &self.temporal
+    }
+
+    /// Computes the temporal assignment matrix `A_t: [N, l, k]` for a window
+    /// `x: [N, L]` (the entity branch reuses it with axes swapped, since both
+    /// views contain the same segments).
+    pub fn assignments(&self, x: &Tensor) -> Tensor {
+        let segs = self.segment_view(x);
+        self.assignment.matrix(&segs, &self.prototypes)
+    }
+
+    /// Reshapes a window `[N, L]` into the temporal segment view `[N, l, p]`.
+    pub fn segment_view(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "window must be [N, L]");
+        let (n, len) = (x.dims()[0], x.dims()[1]);
+        let p = self.segment_len;
+        assert_eq!(len % p, 0, "lookback {len} not divisible by segment length {p}");
+        x.reshape(&[n, len / p, p])
+    }
+
+    /// Runs both branches on window `x: [N, L]` with precomputed temporal
+    /// assignments `a_t: [N, l, k]`, returning `(H_t, H_e)`, each `[N, l, d]`.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        pv: &ParamVars,
+        x: &Tensor,
+        a_t: &Tensor,
+    ) -> (Var, Var) {
+        let segs_t = self.segment_view(x); // [N, l, p]
+        let p_t = g.constant(segs_t);
+        let at_v = g.constant(a_t.clone());
+
+        // Shared input embedding provides the residual path.
+        let emb_t = self.embed.forward(g, pv, p_t); // [N, l, d]
+
+        // Temporal branch.
+        let attn_t = self.temporal.forward(g, pv, p_t, at_v);
+        let sum_t = g.add(attn_t, emb_t);
+        let mut h_t = self.ln_t.forward(g, pv, sum_t); // [N, l, d]
+        for layer in &self.temporal_stack {
+            let refined = layer.attn.forward(g, pv, h_t, at_v);
+            let sum = g.add(refined, h_t);
+            h_t = layer.ln.forward(g, pv, sum);
+        }
+
+        // Entity branch: same segments viewed as [l, N, p] with swapped
+        // assignments.
+        let p_e = g.swap_axes01(p_t); // [l, N, p]
+        let ae_v = g.swap_axes01(at_v); // [l, N, k]
+        let emb_e = g.swap_axes01(emb_t); // [l, N, d] (embedding is pointwise per segment)
+        let attn_e = self.entity.forward(g, pv, p_e, ae_v);
+        let sum_e = g.add(attn_e, emb_e);
+        let mut h_e_raw = self.ln_e.forward(g, pv, sum_e); // [l, N, d]
+        for layer in &self.entity_stack {
+            let refined = layer.attn.forward(g, pv, h_e_raw, ae_v);
+            let sum = g.add(refined, h_e_raw);
+            h_e_raw = layer.ln.forward(g, pv, sum);
+        }
+        let h_e = g.swap_axes01(h_e_raw); // [N, l, d]
+
+        (h_t, h_e)
+    }
+
+    /// Analytic cost for a window of `n` entities × `l` segments.
+    pub fn cost(&self, n: usize, l: usize) -> CostReport {
+        let mut total = self.embed.cost(n)
+            + self.temporal.cost(n, l)
+            + self.entity.cost(l, n)
+            + self.ln_t.cost(n * l)
+            + self.ln_e.cost(n * l);
+        for layer in self.temporal_stack.iter() {
+            total = total + layer.attn.cost(n, l) + layer.ln.cost(n * l);
+        }
+        for layer in self.entity_stack.iter() {
+            total = total + layer.attn.cost(l, n) + layer.ln.cost(n * l);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_cluster::{segment_matrix, ClusterConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (ParamStore, DualBranchExtractor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(21);
+        // A small periodic multivariate window.
+        let n = 4;
+        let len = 32;
+        let data: Vec<f32> = (0..n * len)
+            .map(|i| {
+                let e = i / len;
+                let t = i % len;
+                ((t as f32 * 0.4) + e as f32).sin()
+            })
+            .collect();
+        let x = Tensor::from_vec(data, &[n, len]);
+        let segs = segment_matrix(&x, 8);
+        let protos = ClusterConfig::new(3, 8).fit(&segs, 1);
+        let mut ps = ParamStore::new();
+        let ext =
+            DualBranchExtractor::new(&mut ps, "ext", &protos, 6, 4, Assignment::Hard, &mut rng);
+        (ps, ext, x)
+    }
+
+    #[test]
+    fn forward_produces_aligned_branches() {
+        let (ps, ext, x) = fixture();
+        let a_t = ext.assignments(&x);
+        assert_eq!(a_t.dims(), &[4, 4, 3]);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        assert_eq!(g.value(h_t).dims(), &[4, 4, 6]);
+        assert_eq!(g.value(h_e).dims(), &[4, 4, 6]);
+        assert!(g.value(h_t).all_finite());
+        assert!(g.value(h_e).all_finite());
+    }
+
+    #[test]
+    fn branches_differ() {
+        // Temporal and entity branches have separate parameters and views,
+        // so their features should not coincide.
+        let (ps, ext, x) = fixture();
+        let a_t = ext.assignments(&x);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        let diff = g.value(h_t).max_abs_diff(g.value(h_e));
+        assert!(diff > 1e-3, "branches coincide (diff {diff})");
+    }
+
+    #[test]
+    fn segment_view_is_pure_reshape() {
+        let (_, ext, x) = fixture();
+        let v = ext.segment_view(&x);
+        assert_eq!(v.dims(), &[4, 4, 8]);
+        // Row-major reshape: segment 1 of entity 0 is x[0, 8..16].
+        let expect = &x.row(0)[8..16];
+        let got: Vec<f32> = (0..8).map(|j| v.at3(0, 1, j)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_lookback() {
+        let (_, ext, _) = fixture();
+        let bad = Tensor::zeros(&[4, 30]);
+        let _ = ext.segment_view(&bad);
+    }
+
+    #[test]
+    fn stacked_extractor_runs_and_costs_more() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Tensor::randn(&[4, 32], 1.0, &mut rng);
+        let segs = segment_matrix(&x, 8);
+        let protos = ClusterConfig::new(3, 8).fit(&segs, 1);
+
+        let mut ps1 = ParamStore::new();
+        let one = DualBranchExtractor::new_stacked(
+            &mut ps1, "e1", &protos, 6, 4, 1, Assignment::Hard, &mut rng,
+        );
+        let mut ps3 = ParamStore::new();
+        let three = DualBranchExtractor::new_stacked(
+            &mut ps3, "e3", &protos, 6, 4, 3, Assignment::Hard, &mut rng,
+        );
+        assert_eq!(one.n_layers(), 1);
+        assert_eq!(three.n_layers(), 3);
+        assert!(three.cost(4, 4).flops > one.cost(4, 4).flops);
+        assert!(ps3.scalar_count() > ps1.scalar_count());
+
+        let a_t = three.assignments(&x);
+        let mut g = Graph::new();
+        let pv = ps3.register(&mut g);
+        let (h_t, h_e) = three.forward(&mut g, &pv, &x, &a_t);
+        assert_eq!(g.value(h_t).dims(), &[4, 4, 6]);
+        assert!(g.value(h_t).all_finite() && g.value(h_e).all_finite());
+        // Params accounted analytically must match the store.
+        assert_eq!(three.cost(4, 4).params, ps3.scalar_count());
+    }
+
+    #[test]
+    fn full_gradient_flow() {
+        let (mut ps, ext, x) = fixture();
+        let a_t = ext.assignments(&x);
+        let mut opt = focus_autograd::AdamW::new(0.01, 0.0);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        let s = g.add(h_t, h_e);
+        let sq = g.mul(s, s);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        let norm = ps.grad_norm(&g, &pv);
+        assert!(norm > 0.0 && norm.is_finite());
+        ps.step(&mut opt, &g, &pv); // must not panic
+    }
+}

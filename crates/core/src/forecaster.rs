@@ -1,0 +1,325 @@
+//! The [`Forecaster`] trait: the shared contract between FOCUS, its
+//! ablations and every baseline model.
+//!
+//! A forecaster exposes a differentiable `forward_window` over an
+//! instance-normalised lookback window; the provided methods supply the
+//! common train / predict / evaluate machinery so all models in the
+//! repository are compared under an identical pipeline (same normalisation,
+//! same optimiser, same window sampling).
+
+use focus_autograd::{AdamW, Graph, ParamStore, ParamVars, Var};
+use focus_data::{Metrics, MtsDataset, Split};
+use focus_nn::revin::{instance_denorm, instance_norm, InstanceStats};
+use focus_nn::CostReport;
+use focus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (the convention of the paper's Table III models).
+    Mse,
+    /// Mean absolute error — more robust to outliers; used by some traffic
+    /// baselines and exposed for the robustness studies.
+    Mae,
+}
+
+/// Knobs of the online training loop.
+#[derive(Clone, Debug)]
+pub struct TrainOptions {
+    /// Passes over the (subsampled) training windows.
+    pub epochs: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Stride between consecutive training windows.
+    pub stride: usize,
+    /// Cap on windows per epoch (they are shuffled first).
+    pub max_windows: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Training objective.
+    pub loss: Loss,
+    /// Early stopping: stop after this many epochs without validation-MSE
+    /// improvement and restore the best weights. `None` trains for exactly
+    /// `epochs` epochs. `epochs` is the cap either way.
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 3,
+            lr: 2e-3,
+            weight_decay: 1e-4,
+            stride: 8,
+            max_windows: 96,
+            seed: 0,
+            loss: Loss::Mse,
+            patience: None,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean normalised-space MSE per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Windows actually used per epoch.
+    pub windows_per_epoch: usize,
+    /// Validation MSE per epoch, when early stopping was enabled.
+    pub val_losses: Vec<f64>,
+    /// Epoch whose weights were kept (best validation), when early stopping
+    /// was enabled.
+    pub best_epoch: Option<usize>,
+}
+
+/// Normalises a target `[N, L_f]` with the lookback window's instance
+/// statistics, so training happens in the same space the network sees.
+pub fn normalise_target(y: &Tensor, stats: &InstanceStats) -> Tensor {
+    let mut out = y.clone();
+    let l = y.dims()[1];
+    for (e, (&mean, &std)) in stats.means.iter().zip(&stats.stds).enumerate() {
+        let denom = std.max(1e-5);
+        for v in &mut out.data_mut()[e * l..(e + 1) * l] {
+            *v = (*v - mean) / denom;
+        }
+    }
+    out
+}
+
+/// A trainable multivariate forecaster over fixed-size windows.
+pub trait Forecaster {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Lookback window length `L`.
+    fn lookback(&self) -> usize;
+
+    /// Forecast horizon `L_f`.
+    fn horizon(&self) -> usize;
+
+    /// The model's trainable parameters.
+    fn params(&self) -> &ParamStore;
+
+    /// Mutable access to the parameters (for the optimiser step).
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Differentiable forward pass over an instance-normalised window
+    /// `[N, L]`, producing the normalised forecast `[N, L_f]`.
+    fn forward_window(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> Var;
+
+    /// Analytic cost of one forward pass for `entities` series.
+    fn cost(&self, entities: usize) -> CostReport;
+
+    /// End-to-end prediction: instance-normalise, forward, de-normalise.
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let (x_norm, stats) = instance_norm(x);
+        let mut g = Graph::new();
+        let pv = self.params().register(&mut g);
+        let y = self.forward_window(&mut g, &pv, &x_norm);
+        instance_denorm(g.value(y), &stats)
+    }
+
+    /// Trains on the dataset's training split with AdamW and an MSE loss.
+    ///
+    /// # Panics
+    /// If the training split holds no full window.
+    fn train(&mut self, ds: &MtsDataset, opts: &TrainOptions) -> TrainReport {
+        let mut windows = ds.windows(Split::Train, self.lookback(), self.horizon(), opts.stride);
+        assert!(
+            !windows.is_empty(),
+            "training split too short for lookback {} + horizon {}",
+            self.lookback(),
+            self.horizon()
+        );
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x7ea1);
+        windows.shuffle(&mut rng);
+        windows.truncate(opts.max_windows);
+
+        // Validation windows for early stopping (a small fixed set).
+        let val_windows: Vec<_> = if opts.patience.is_some() {
+            let all = ds.windows(Split::Val, self.lookback(), self.horizon(), self.horizon().max(1));
+            let keep = all.len().div_ceil(16).max(1);
+            all.into_iter().step_by(keep).take(16).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut opt = AdamW::new(opts.lr, opts.weight_decay);
+        let mut epoch_losses = Vec::with_capacity(opts.epochs);
+        let mut val_losses = Vec::new();
+        let mut best: Option<(usize, f64, Vec<focus_tensor::Tensor>)> = None;
+        let mut stale = 0usize;
+        for epoch in 0..opts.epochs {
+            let mut total = 0.0f64;
+            for w in &windows {
+                let (x_norm, stats) = instance_norm(&w.x);
+                let y_norm = normalise_target(&w.y, &stats);
+                let mut g = Graph::new();
+                let pv = self.params().register(&mut g);
+                let pred = self.forward_window(&mut g, &pv, &x_norm);
+                let target = g.constant(y_norm);
+                let loss = match opts.loss {
+                    Loss::Mse => g.mse(pred, target),
+                    Loss::Mae => g.mae(pred, target),
+                };
+                g.backward(loss);
+                self.params_mut().step(&mut opt, &g, &pv);
+                total += g.value(loss).item() as f64;
+            }
+            epoch_losses.push(total / windows.len() as f64);
+
+            if let Some(patience) = opts.patience {
+                if !val_windows.is_empty() {
+                    let mut m = Metrics::new();
+                    for w in &val_windows {
+                        m.update(&self.predict(&w.x), &w.y);
+                    }
+                    let val = m.mse();
+                    val_losses.push(val);
+                    let improved = best.as_ref().map(|(_, b, _)| val < *b).unwrap_or(true);
+                    if improved {
+                        best = Some((epoch, val, self.params().snapshot()));
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                        if stale >= patience {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let best_epoch = if let Some((epoch, _, snapshot)) = best {
+            self.params_mut().restore(&snapshot);
+            Some(epoch)
+        } else {
+            None
+        };
+        TrainReport {
+            epoch_losses,
+            windows_per_epoch: windows.len(),
+            val_losses,
+            best_epoch,
+        }
+    }
+
+    /// Evaluates on a split, accumulating MSE/MAE in the dataset's z-scored
+    /// space (the paper's metric convention).
+    ///
+    /// # Panics
+    /// If the split holds no full window.
+    fn evaluate(&self, ds: &MtsDataset, split: Split, stride: usize) -> Metrics {
+        let windows = ds.windows(split, self.lookback(), self.horizon(), stride);
+        assert!(!windows.is_empty(), "no evaluation windows in {split:?}");
+        let mut m = Metrics::new();
+        for w in &windows {
+            let pred = self.predict(&w.x);
+            m.update(&pred, &w.y);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalise_target_uses_window_stats() {
+        let stats = InstanceStats {
+            means: vec![10.0, -5.0],
+            stds: vec![2.0, 0.5],
+        };
+        let y = Tensor::from_vec(vec![12.0, 14.0, -5.5, -4.5], &[2, 2]);
+        let n = normalise_target(&y, &stats);
+        assert_eq!(n.data(), &[1.0, 2.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        use crate::model::{Focus, FocusConfig};
+        use focus_data::{Benchmark, MtsDataset};
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(4, 1_600), 3);
+        let mut cfg = FocusConfig::new(48, 12);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 4;
+        cfg.d = 12;
+        cfg.cluster_iters = 4;
+        let mut model = Focus::fit_offline(&ds, cfg, 1);
+        let r = model.train(
+            &ds,
+            &TrainOptions {
+                epochs: 12,
+                max_windows: 16,
+                patience: Some(2),
+                ..Default::default()
+            },
+        );
+        let best = r.best_epoch.expect("early stopping must record a best epoch");
+        assert!(!r.val_losses.is_empty());
+        // The recorded best epoch must actually be the argmin.
+        let argmin = r
+            .val_losses
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, argmin);
+        // And the restored model must reproduce that validation score.
+        let val_windows = ds.windows(Split::Val, 48, 12, 12);
+        let mut m = Metrics::new();
+        for w in val_windows
+            .iter()
+            .step_by(val_windows.len().div_ceil(16).max(1))
+            .take(16)
+        {
+            m.update(&model.predict(&w.x), &w.y);
+        }
+        assert!((m.mse() - r.val_losses[best]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_loss_trains_too() {
+        use crate::model::{Focus, FocusConfig};
+        use focus_data::{Benchmark, MtsDataset};
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(4, 1_200), 2);
+        let mut cfg = FocusConfig::new(48, 12);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 4;
+        cfg.d = 12;
+        cfg.cluster_iters = 4;
+        let mut model = Focus::fit_offline(&ds, cfg, 1);
+        let r = model.train(
+            &ds,
+            &TrainOptions {
+                epochs: 3,
+                max_windows: 16,
+                loss: Loss::Mae,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.epoch_losses.last().unwrap() < &r.epoch_losses[0],
+            "MAE training did not improve: {:?}",
+            r.epoch_losses
+        );
+    }
+
+    #[test]
+    fn normalise_target_guards_zero_std() {
+        let stats = InstanceStats {
+            means: vec![1.0],
+            stds: vec![0.0],
+        };
+        let y = Tensor::from_vec(vec![2.0], &[1, 1]);
+        let n = normalise_target(&y, &stats);
+        assert!(n.all_finite());
+    }
+}

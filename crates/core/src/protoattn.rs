@@ -1,0 +1,352 @@
+//! Prototypes Attentive Modeling — ProtoAttn (paper §VI, Algorithm 2).
+//!
+//! Instead of all-pairs attention between `l` segments (`O(l²)`), ProtoAttn
+//! computes attention between the `k` *prototype queries* and the `l` segment
+//! keys, then routes each segment to its assigned prototype's output through
+//! the one-hot assignment matrix `A`:
+//!
+//! ```text
+//! C_Q = C·W_E          (k × d)   prototype queries          (Eq. 14)
+//! K   = P·W_K,  V = P·W_V  (l × d)
+//! α   = softmax(C_Q·Kᵀ / √d)    (k × l)                     (Eq. 16)
+//! out = A · (α · V)             (l × d)                     (Eq. 18)
+//! ```
+//!
+//! Segments sharing a prototype receive identical attention summaries
+//! (Eq. 19); total complexity is `O(k·l·d)` — linear in `l`.
+
+use focus_autograd::{Graph, ParamStore, ParamVars, Var};
+use focus_cluster::Prototypes;
+use focus_nn::{CostReport, Linear};
+use focus_tensor::Tensor;
+use rand::Rng;
+
+/// How input segments are mapped onto prototype buckets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Assignment {
+    /// One-hot nearest-prototype assignment (the paper's choice, Eq. 15).
+    Hard,
+    /// Softmax over negative composite distances with the given temperature —
+    /// a design-ablation alternative benchmarked in `focus-bench`.
+    Soft {
+        /// Softmax temperature; smaller is closer to hard assignment.
+        temperature: f32,
+    },
+}
+
+impl Assignment {
+    /// Builds the assignment matrix `A: [B, l, k]` for `segments: [B, l, p]`
+    /// against the offline prototypes (Algorithm 2, lines 1–4).
+    ///
+    /// This runs outside the autograd graph: `A` is data, not a trainable
+    /// quantity.
+    pub fn matrix(&self, segments: &Tensor, prototypes: &Prototypes) -> Tensor {
+        assert_eq!(segments.rank(), 3, "segments must be [B, l, p]");
+        let (b, l, p) = (segments.dims()[0], segments.dims()[1], segments.dims()[2]);
+        assert_eq!(
+            p,
+            prototypes.segment_len(),
+            "segment length {p} != prototype length {}",
+            prototypes.segment_len()
+        );
+        let k = prototypes.k();
+        let mut a = Tensor::zeros(&[b, l, k]);
+        for bi in 0..b {
+            for i in 0..l {
+                let seg = &segments.data()[(bi * l + i) * p..(bi * l + i + 1) * p];
+                match self {
+                    Assignment::Hard => {
+                        let j = prototypes.assign(seg);
+                        a.data_mut()[(bi * l + i) * k + j] = 1.0;
+                    }
+                    Assignment::Soft { temperature } => {
+                        let t = temperature.max(1e-4);
+                        let row = &mut a.data_mut()[(bi * l + i) * k..(bi * l + i + 1) * k];
+                        let mut max = f32::NEG_INFINITY;
+                        for (j, slot) in row.iter_mut().enumerate() {
+                            let d = prototypes.objective().distance(seg, prototypes.centers().row(j));
+                            *slot = -d / t;
+                            max = max.max(*slot);
+                        }
+                        let mut sum = 0.0;
+                        for slot in row.iter_mut() {
+                            *slot = (*slot - max).exp();
+                            sum += *slot;
+                        }
+                        for slot in row.iter_mut() {
+                            *slot /= sum;
+                        }
+                    }
+                }
+            }
+        }
+        a
+    }
+}
+
+/// The ProtoAttn block: learnable projections around a fixed prototype set.
+pub struct ProtoAttn {
+    w_e: Linear,
+    w_k: Linear,
+    w_v: Linear,
+    prototypes: Tensor,
+    kv_dim: usize,
+    d: usize,
+}
+
+impl ProtoAttn {
+    /// Builds a block for prototypes of shape `[k, p]`, embedding into
+    /// feature width `d`. Keys/values are projected from raw segments
+    /// (`kv_dim = p`, Eq. 14).
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        prototypes: &Prototypes,
+        d: usize,
+        rng: &mut R,
+    ) -> Self {
+        let p = prototypes.segment_len();
+        Self::with_kv_dim(ps, name, prototypes, p, d, rng)
+    }
+
+    /// Builds a block whose keys/values are projected from `kv_dim`-wide
+    /// inputs instead of raw segments — used by the stacked layers of the
+    /// multi-layer extractor extension, which attend over `d`-wide features.
+    pub fn with_kv_dim<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        prototypes: &Prototypes,
+        kv_dim: usize,
+        d: usize,
+        rng: &mut R,
+    ) -> Self {
+        let p = prototypes.segment_len();
+        ProtoAttn {
+            w_e: Linear::new_no_bias(ps, &format!("{name}.w_e"), p, d, rng),
+            w_k: Linear::new_no_bias(ps, &format!("{name}.w_k"), kv_dim, d, rng),
+            w_v: Linear::new_no_bias(ps, &format!("{name}.w_v"), kv_dim, d, rng),
+            prototypes: prototypes.centers().clone(),
+            kv_dim,
+            d,
+        }
+    }
+
+    /// Feature width `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of prototypes `k`.
+    pub fn k(&self) -> usize {
+        self.prototypes.dims()[0]
+    }
+
+    /// Segment length `p`.
+    pub fn segment_len(&self) -> usize {
+        self.prototypes.dims()[1]
+    }
+
+    /// Applies ProtoAttn to `segments: [B, l, kv_dim]` with assignment
+    /// matrix `assign: [B, l, k]`, returning `[B, l, d]` (Algorithm 2).
+    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, segments: Var, assign: Var) -> Var {
+        let dims = g.value(segments).dims().to_vec();
+        assert_eq!(dims.len(), 3, "ProtoAttn expects [B, l, kv_dim] inputs");
+        assert_eq!(dims[2], self.kv_dim, "ProtoAttn input width mismatch");
+        let adims = g.value(assign).dims().to_vec();
+        assert_eq!(
+            adims,
+            vec![dims[0], dims[1], self.k()],
+            "assignment matrix must be [B, l, k]"
+        );
+
+        let c = g.constant(self.prototypes.clone());
+        let c_q = self.w_e.forward(g, pv, c); // [k, d]
+        let keys = self.w_k.forward(g, pv, segments); // [B, l, d]
+        let values = self.w_v.forward(g, pv, segments); // [B, l, d]
+        let scores = g.matmul_broadcast_nt(c_q, keys); // [B, k, l]
+        let scaled = g.scale(scores, 1.0 / (self.d as f32).sqrt());
+        let alpha = g.softmax_last(scaled); // [B, k, l]
+        let head = g.bmm(alpha, values); // [B, k, d]
+        g.bmm(assign, head) // [B, l, d]
+    }
+
+    /// The learned long-range dependency matrix `A · α ∈ [B, l, l]` of
+    /// Fig. 13: row `i` shows how much segment `i`'s summary attends to each
+    /// other segment.
+    pub fn dependency_matrix(
+        &self,
+        ps: &ParamStore,
+        segments: &Tensor,
+        assign: &Tensor,
+    ) -> Tensor {
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let seg_v = g.constant(segments.clone());
+        let c = g.constant(self.prototypes.clone());
+        let c_q = self.w_e.forward(&mut g, &pv, c);
+        let keys = self.w_k.forward(&mut g, &pv, seg_v);
+        let scores = g.matmul_broadcast_nt(c_q, keys);
+        let scaled = g.scale(scores, 1.0 / (self.d as f32).sqrt());
+        let alpha = g.softmax_last(scaled); // [B, k, l]
+        let a_v = g.constant(assign.clone());
+        let dep = g.bmm(a_v, alpha); // [B, l, l]
+        g.value(dep).clone()
+    }
+
+    /// Analytic cost over a batch of `b` sequences of `l` segments
+    /// (the `O(l·(k·d + d²) + k·d²)` of the paper's complexity analysis).
+    pub fn cost(&self, b: usize, l: usize) -> CostReport {
+        let k = self.k();
+        let p = self.kv_dim;
+        // Prototype queries are computed once per forward (shared over batch).
+        let proto_proj = self.w_e.cost(k);
+        let kv_proj = self.w_k.cost(b * l) + self.w_v.cost(b * l);
+        // scores (k·l·d), softmax, context (k·l·d), routing A·head (l·k·d).
+        // Live activations: the [b, k, l] score matrix and the [b, l, d]
+        // routed output.
+        let attn = CostReport {
+            flops: 2 * (3 * b * k * l * self.d) as u64 + 5 * (b * k * l) as u64,
+            params: 0,
+            peak_mem_bytes: ((b * k * l).max(b * l * self.d) * 4) as u64,
+        };
+        // Assignment: l segments × k prototypes × p-length distance. The
+        // distances are streamed; only the one-hot [b, l, k] matrix is live.
+        let assign = CostReport {
+            flops: 3 * (b * l * k * p) as u64,
+            params: 0,
+            peak_mem_bytes: (b * l * k * 4) as u64,
+        };
+        proto_proj + kv_proj + attn + assign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_cluster::Objective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn proto_fixture() -> Prototypes {
+        // Two orthogonal "shapes": rising ramp and falling ramp.
+        Prototypes::from_centers(
+            Tensor::from_vec(vec![-1.0, -0.33, 0.33, 1.0, 1.0, 0.33, -0.33, -1.0], &[2, 4]),
+            Objective::rec_corr(0.2),
+        )
+    }
+
+    #[test]
+    fn hard_assignment_is_one_hot_and_correct() {
+        let protos = proto_fixture();
+        // Segment 0 rises, segment 1 falls.
+        let segs = Tensor::from_vec(
+            vec![-2.0, -0.7, 0.7, 2.0, 0.5, 0.2, -0.2, -0.5],
+            &[1, 2, 4],
+        );
+        let a = Assignment::Hard.matrix(&segs, &protos);
+        assert_eq!(a.dims(), &[1, 2, 2]);
+        assert_eq!(a.at3(0, 0, 0), 1.0);
+        assert_eq!(a.at3(0, 0, 1), 0.0);
+        assert_eq!(a.at3(0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn soft_assignment_rows_are_distributions() {
+        let protos = proto_fixture();
+        let segs = Tensor::from_vec(
+            vec![-2.0, -0.7, 0.7, 2.0, 0.5, 0.2, -0.2, -0.5],
+            &[1, 2, 4],
+        );
+        let a = Assignment::Soft { temperature: 1.0 }.matrix(&segs, &protos);
+        for i in 0..2 {
+            let sum: f32 = (0..2).map(|j| a.at3(0, i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // The rising segment must still prefer the rising prototype.
+        assert!(a.at3(0, 0, 0) > a.at3(0, 0, 1));
+    }
+
+    #[test]
+    fn forward_shape_and_eq19_property() {
+        // Segments assigned to the same prototype get identical outputs
+        // (Eq. 19).
+        let mut rng = StdRng::seed_from_u64(5);
+        let protos = proto_fixture();
+        let mut ps = ParamStore::new();
+        let pa = ProtoAttn::new(&mut ps, "pa", &protos, 8, &mut rng);
+        // Three segments; 0 and 2 are both rising → same bucket.
+        let segs = Tensor::from_vec(
+            vec![
+                -2.0, -0.7, 0.7, 2.0, // rising
+                0.5, 0.2, -0.2, -0.5, // falling
+                -1.0, -0.3, 0.3, 1.0, // rising
+            ],
+            &[1, 3, 4],
+        );
+        let a = Assignment::Hard.matrix(&segs, &protos);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let seg_v = g.constant(segs);
+        let a_v = g.constant(a);
+        let out = pa.forward(&mut g, &pv, seg_v, a_v);
+        assert_eq!(g.value(out).dims(), &[1, 3, 8]);
+        let row0: Vec<f32> = (0..8).map(|j| g.value(out).at3(0, 0, j)).collect();
+        let row2: Vec<f32> = (0..8).map(|j| g.value(out).at3(0, 2, j)).collect();
+        assert_eq!(row0, row2, "same-bucket segments must share outputs");
+    }
+
+    #[test]
+    fn gradients_flow_to_all_projections() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let protos = proto_fixture();
+        let mut ps = ParamStore::new();
+        let pa = ProtoAttn::new(&mut ps, "pa", &protos, 4, &mut rng);
+        let segs = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
+        let a = Assignment::Hard.matrix(&segs, &protos);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let seg_v = g.constant(segs);
+        let a_v = g.constant(a);
+        let out = pa.forward(&mut g, &pv, seg_v, a_v);
+        let sq = g.mul(out, out);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        // All three projection weights must receive gradients.
+        assert!(ps.grad_norm(&g, &pv) > 0.0);
+        for (id, name, _) in ps.iter() {
+            let grad = g.grad(pv.var(id));
+            assert!(grad.is_some(), "{name} has no gradient");
+        }
+    }
+
+    #[test]
+    fn dependency_matrix_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let protos = proto_fixture();
+        let mut ps = ParamStore::new();
+        let pa = ProtoAttn::new(&mut ps, "pa", &protos, 4, &mut rng);
+        let segs = Tensor::randn(&[1, 5, 4], 1.0, &mut rng);
+        let a = Assignment::Hard.matrix(&segs, &protos);
+        let dep = pa.dependency_matrix(&ps, &segs, &a);
+        assert_eq!(dep.dims(), &[1, 5, 5]);
+        for i in 0..5 {
+            let sum: f32 = (0..5).map(|j| dep.at3(0, i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_in_sequence_length() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let protos = proto_fixture();
+        let mut ps = ParamStore::new();
+        let pa = ProtoAttn::new(&mut ps, "pa", &protos, 16, &mut rng);
+        let c1 = pa.cost(1, 64);
+        let c2 = pa.cost(1, 128);
+        let ratio = c2.flops as f64 / c1.flops as f64;
+        assert!(
+            (ratio - 2.0).abs() < 0.2,
+            "doubling l should ~double FLOPs, ratio {ratio}"
+        );
+    }
+}

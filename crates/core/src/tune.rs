@@ -1,0 +1,135 @@
+//! Grid search for the segment length `p` and prototype count `k`
+//! (the paper obtains both "through the grid-search method", §VIII-A).
+
+use crate::forecaster::{Forecaster, TrainOptions};
+use crate::model::{Focus, FocusConfig};
+use focus_data::{MtsDataset, Split};
+
+/// One evaluated grid point.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Segment length `p`.
+    pub segment_len: usize,
+    /// Prototype count `k`.
+    pub n_prototypes: usize,
+    /// Validation MSE after training.
+    pub val_mse: f64,
+    /// Validation MAE after training.
+    pub val_mae: f64,
+}
+
+/// Result of a [`grid_search`].
+#[derive(Clone, Debug)]
+pub struct GridSearchReport {
+    /// Every evaluated point, in evaluation order.
+    pub points: Vec<GridPoint>,
+    /// Index of the best point (lowest validation MSE).
+    pub best: usize,
+}
+
+impl GridSearchReport {
+    /// The winning grid point.
+    pub fn best_point(&self) -> &GridPoint {
+        &self.points[self.best]
+    }
+}
+
+/// Trains one FOCUS per `(p, k)` pair and scores it on the validation split.
+///
+/// Pairs whose `p` does not divide the lookback are skipped. Returns the
+/// evaluated points and the argmin.
+///
+/// # Panics
+/// If no grid point is feasible.
+pub fn grid_search(
+    ds: &MtsDataset,
+    base: &FocusConfig,
+    segment_lens: &[usize],
+    prototype_counts: &[usize],
+    train: &TrainOptions,
+    seed: u64,
+) -> GridSearchReport {
+    let mut points = Vec::new();
+    for &p in segment_lens {
+        if !base.lookback.is_multiple_of(p) {
+            continue;
+        }
+        for &k in prototype_counts {
+            let mut cfg = base.clone();
+            cfg.segment_len = p;
+            cfg.n_prototypes = k;
+            let mut model = Focus::fit_offline(ds, cfg, seed);
+            model.train(ds, train);
+            let metrics = model.evaluate(ds, Split::Val, base.horizon.max(1));
+            points.push(GridPoint {
+                segment_len: p,
+                n_prototypes: k,
+                val_mse: metrics.mse(),
+                val_mae: metrics.mae(),
+            });
+        }
+    }
+    assert!(
+        !points.is_empty(),
+        "no feasible grid point: none of {segment_lens:?} divides lookback {}",
+        base.lookback
+    );
+    let best = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.val_mse.total_cmp(&b.1.val_mse))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    GridSearchReport { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_data::Benchmark;
+
+    #[test]
+    fn grid_search_finds_a_feasible_best() {
+        let ds = MtsDataset::generate(Benchmark::Etth1.scaled(4, 1_500), 3);
+        let mut base = FocusConfig::new(48, 12);
+        base.d = 8;
+        base.readout = 2;
+        base.cluster_iters = 4;
+        let report = grid_search(
+            &ds,
+            &base,
+            &[6, 7, 8], // 7 does not divide 48 and must be skipped
+            &[2, 4],
+            &TrainOptions {
+                epochs: 1,
+                max_windows: 8,
+                ..Default::default()
+            },
+            1,
+        );
+        // 2 feasible segment lengths × 2 ks = 4 points.
+        assert_eq!(report.points.len(), 4);
+        assert!(report.points.iter().all(|pt| pt.segment_len != 7));
+        let best = report.best_point();
+        assert!(best.val_mse.is_finite());
+        assert!(report
+            .points
+            .iter()
+            .all(|pt| pt.val_mse >= best.val_mse));
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible grid point")]
+    fn infeasible_grid_panics() {
+        let ds = MtsDataset::generate(Benchmark::Etth1.scaled(2, 800), 4);
+        let base = FocusConfig::new(48, 12);
+        let _ = grid_search(
+            &ds,
+            &base,
+            &[5],
+            &[2],
+            &TrainOptions::default(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Novelty scoring for the generalization study (paper §VIII-D, Fig. 9).
+//!
+//! The paper uses t-SNE to *visualise* that the test split contains segment
+//! patterns absent from the training split, then measures forecast accuracy
+//! on those instances. The measurable part — identifying test windows whose
+//! segments are far from everything seen in training — only needs a distance
+//! to the nearest reference segment, which is what this module computes.
+
+use focus_tensor::{stats, Tensor};
+
+/// Splits a `[.., len]` row-major series row into consecutive length-`p`
+/// segments (the tail shorter than `p` is dropped).
+pub fn segment_row(row: &[f32], p: usize) -> Vec<&[f32]> {
+    assert!(p > 0, "segment length must be positive");
+    row.chunks_exact(p).collect()
+}
+
+/// Minimum squared Euclidean distance from `segment` to any row of
+/// `reference: [k, p]`.
+///
+/// # Panics
+/// If `reference` is empty or widths mismatch.
+pub fn nearest_distance(segment: &[f32], reference: &Tensor) -> f32 {
+    assert_eq!(reference.rank(), 2, "reference must be [k, p]");
+    let k = reference.dims()[0];
+    assert!(k > 0, "empty reference set");
+    (0..k)
+        .map(|j| stats::sq_euclidean(segment, reference.row(j)))
+        .fold(f32::INFINITY, f32::min)
+}
+
+/// Novelty of a window `x: [N, L]` against a reference segment set
+/// `[k, p]`: the **maximum over segments** of the nearest-reference
+/// distance. High values mean the window contains at least one segment shape
+/// unseen in training.
+pub fn window_novelty(x: &Tensor, reference: &Tensor, p: usize) -> f32 {
+    assert_eq!(x.rank(), 2, "window must be [entities, lookback]");
+    let mut worst = 0.0f32;
+    for e in 0..x.dims()[0] {
+        for seg in segment_row(x.row(e), p) {
+            let d = nearest_distance(seg, reference);
+            if d > worst {
+                worst = d;
+            }
+        }
+    }
+    worst
+}
+
+/// Ranks `windows` by descending novelty and returns the indices of the top
+/// `count`.
+pub fn most_novel_windows(
+    windows: &[Tensor],
+    reference: &Tensor,
+    p: usize,
+    count: usize,
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f32)> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, window_novelty(w, reference, p)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.into_iter().take(count).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_row_drops_tail() {
+        let row = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let segs = segment_row(&row, 2);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn nearest_distance_zero_for_member() {
+        let reference = Tensor::from_vec(vec![1.0, 2.0, 5.0, 6.0], &[2, 2]);
+        assert_eq!(nearest_distance(&[5.0, 6.0], &reference), 0.0);
+        assert!(nearest_distance(&[1.0, 3.0], &reference) > 0.0);
+    }
+
+    #[test]
+    fn novel_window_scores_higher() {
+        let reference = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let familiar = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[1, 4]);
+        let novel = Tensor::from_vec(vec![0.0, 0.0, 9.0, -9.0], &[1, 4]);
+        let nf = window_novelty(&familiar, &reference, 2);
+        let nn = window_novelty(&novel, &reference, 2);
+        assert!(nn > nf, "novel {nn} <= familiar {nf}");
+    }
+
+    #[test]
+    fn ranking_returns_most_novel_first() {
+        let reference = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let windows = vec![
+            Tensor::from_vec(vec![0.1, 0.1], &[1, 2]),
+            Tensor::from_vec(vec![5.0, 5.0], &[1, 2]),
+            Tensor::from_vec(vec![1.0, 1.0], &[1, 2]),
+        ];
+        let top = most_novel_windows(&windows, &reference, 2, 2);
+        assert_eq!(top, vec![1, 2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Benchmark catalogue: the seven datasets of Table II and their statistics.
+
+/// Application domain of a benchmark, which selects the generator profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Road traffic flow/occupancy (PEMS04, PEMS08, Traffic).
+    Traffic,
+    /// Electric load / transformer telemetry (Electricity, ETTh1, ETTm1).
+    Electricity,
+    /// Meteorological measurements (Weather).
+    Environment,
+}
+
+/// Full description of a dataset instance to generate.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Human-readable name (e.g. `"PEMS08"`).
+    pub name: String,
+    /// Domain profile used by the generator.
+    pub domain: Domain,
+    /// Sampling interval in minutes.
+    pub freq_minutes: usize,
+    /// Total time steps `T`.
+    pub len: usize,
+    /// Number of entities `N`.
+    pub entities: usize,
+    /// Train/val/test split ratio (must sum to 10, e.g. `(6, 2, 2)`).
+    pub split: (usize, usize, usize),
+}
+
+impl DatasetSpec {
+    /// Time steps per day at this sampling rate.
+    pub fn steps_per_day(&self) -> usize {
+        (24 * 60) / self.freq_minutes
+    }
+
+    /// Index ranges `(train, val, test)` over `0..len` following the split
+    /// ratio, in tenths, matching the paper's 6:2:2 / 7:1:2 conventions.
+    pub fn split_points(&self) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+        let (a, b, c) = self.split;
+        assert_eq!(a + b + c, 10, "split ratio must sum to 10, got {:?}", self.split);
+        let t1 = self.len * a / 10;
+        let t2 = self.len * (a + b) / 10;
+        (0..t1, t1..t2, t2..self.len)
+    }
+}
+
+/// The seven benchmarks of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// PEMS04: traffic, 5-minute, 16 992 × 307, split 6:2:2.
+    Pems04,
+    /// PEMS08: traffic, 5-minute, 17 856 × 170, split 6:2:2.
+    Pems08,
+    /// ETTh1: transformer temperature, hourly, 14 400 × 7, split 6:2:2.
+    Etth1,
+    /// ETTm1: transformer temperature, 15-minute, 57 600 × 7, split 6:2:2.
+    Ettm1,
+    /// Traffic: road occupancy, hourly, 17 544 × 862, split 7:1:2.
+    Traffic,
+    /// Electricity: load, hourly, 26 304 × 321, split 7:1:2.
+    Electricity,
+    /// Weather: meteorology, 10-minute, 52 696 × 21, split 7:1:2.
+    Weather,
+}
+
+impl Benchmark {
+    /// All seven benchmarks in the paper's table order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Pems04,
+        Benchmark::Pems08,
+        Benchmark::Etth1,
+        Benchmark::Ettm1,
+        Benchmark::Traffic,
+        Benchmark::Electricity,
+        Benchmark::Weather,
+    ];
+
+    /// The paper-faithful specification (Table II statistics).
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Benchmark::Pems04 => DatasetSpec {
+                name: "PEMS04".into(),
+                domain: Domain::Traffic,
+                freq_minutes: 5,
+                len: 16_992,
+                entities: 307,
+                split: (6, 2, 2),
+            },
+            Benchmark::Pems08 => DatasetSpec {
+                name: "PEMS08".into(),
+                domain: Domain::Traffic,
+                freq_minutes: 5,
+                len: 17_856,
+                entities: 170,
+                split: (6, 2, 2),
+            },
+            Benchmark::Etth1 => DatasetSpec {
+                name: "ETTh1".into(),
+                domain: Domain::Electricity,
+                freq_minutes: 60,
+                len: 14_400,
+                entities: 7,
+                split: (6, 2, 2),
+            },
+            Benchmark::Ettm1 => DatasetSpec {
+                name: "ETTm1".into(),
+                domain: Domain::Electricity,
+                freq_minutes: 15,
+                len: 57_600,
+                entities: 7,
+                split: (6, 2, 2),
+            },
+            Benchmark::Traffic => DatasetSpec {
+                name: "Traffic".into(),
+                domain: Domain::Traffic,
+                freq_minutes: 60,
+                len: 17_544,
+                entities: 862,
+                split: (7, 1, 2),
+            },
+            Benchmark::Electricity => DatasetSpec {
+                name: "Electricity".into(),
+                domain: Domain::Electricity,
+                freq_minutes: 60,
+                len: 26_304,
+                entities: 321,
+                split: (7, 1, 2),
+            },
+            Benchmark::Weather => DatasetSpec {
+                name: "Weather".into(),
+                domain: Domain::Environment,
+                freq_minutes: 10,
+                len: 52_696,
+                entities: 21,
+                split: (7, 1, 2),
+            },
+        }
+    }
+
+    /// A laptop-scale version of this benchmark: entity count and length are
+    /// clamped, everything else (domain profile, frequency, split) is kept.
+    ///
+    /// The experiments in `focus-bench` run on scaled specs so the full
+    /// 8-model × 7-dataset matrix finishes on a CPU; EXPERIMENTS.md documents
+    /// the scale used per experiment.
+    pub fn scaled(self, max_entities: usize, max_len: usize) -> DatasetSpec {
+        let mut spec = self.spec();
+        spec.entities = spec.entities.min(max_entities);
+        spec.len = spec.len.min(max_len);
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics_match_paper() {
+        let s = Benchmark::Pems08.spec();
+        assert_eq!(s.len, 17_856);
+        assert_eq!(s.entities, 170);
+        assert_eq!(s.split, (6, 2, 2));
+        assert_eq!(s.steps_per_day(), 288);
+
+        let t = Benchmark::Traffic.spec();
+        assert_eq!(t.entities, 862);
+        assert_eq!(t.split, (7, 1, 2));
+        assert_eq!(t.steps_per_day(), 24);
+
+        let w = Benchmark::Weather.spec();
+        assert_eq!(w.len, 52_696);
+        assert_eq!(w.entities, 21);
+        assert_eq!(w.steps_per_day(), 144);
+    }
+
+    #[test]
+    fn split_points_partition_the_series() {
+        for b in Benchmark::ALL {
+            let s = b.spec();
+            let (tr, va, te) = s.split_points();
+            assert_eq!(tr.start, 0);
+            assert_eq!(tr.end, va.start);
+            assert_eq!(va.end, te.start);
+            assert_eq!(te.end, s.len);
+            assert!(tr.len() > va.len());
+        }
+    }
+
+    #[test]
+    fn scaled_clamps_but_preserves_profile() {
+        let s = Benchmark::Traffic.scaled(16, 1_000);
+        assert_eq!(s.entities, 16);
+        assert_eq!(s.len, 1_000);
+        assert_eq!(s.domain, Domain::Traffic);
+        assert_eq!(s.split, (7, 1, 2));
+        // Scaling never enlarges.
+        let s2 = Benchmark::Etth1.scaled(100, 1_000_000);
+        assert_eq!(s2.entities, 7);
+        assert_eq!(s2.len, 14_400);
+    }
+}

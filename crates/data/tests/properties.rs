@@ -1,0 +1,76 @@
+//! Property-based tests for dataset invariants.
+
+use focus_data::{outliers, Benchmark, MtsDataset, Split};
+use focus_tensor::stats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn windows_tile_without_leaking_across_splits(
+        seed in 0u64..1000,
+        lookback in 16usize..48,
+        horizon in 4usize..16,
+        stride in 1usize..24,
+    ) {
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(3, 900), seed);
+        for split in [Split::Train, Split::Val, Split::Test] {
+            let r = ds.range(split);
+            for w in ds.windows(split, lookback, horizon, stride) {
+                prop_assert!(w.start >= r.start);
+                prop_assert!(w.start + lookback + horizon <= r.end);
+            }
+        }
+    }
+
+    #[test]
+    fn train_stats_standardise_only_train(seed in 0u64..1000) {
+        let ds = MtsDataset::generate(Benchmark::Etth1.scaled(4, 1_000), seed);
+        let tm = ds.train_matrix();
+        for e in 0..4 {
+            let (m, s) = stats::mean_std(tm.row(e));
+            prop_assert!(m.abs() < 1e-3, "entity {e} train mean {m}");
+            prop_assert!((s - 1.0).abs() < 1e-2, "entity {e} train std {s}");
+        }
+        // The test region generally has non-zero mean (distribution shift is
+        // allowed) but must stay finite.
+        prop_assert!(ds.data().all_finite());
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let spec = Benchmark::Weather.scaled(3, 700);
+        let a = MtsDataset::generate(spec.clone(), seed);
+        let b = MtsDataset::generate(spec, seed);
+        prop_assert_eq!(a.data().data(), b.data().data());
+    }
+
+    #[test]
+    fn outlier_injection_is_bounded_and_targeted(ratio in 0.0f64..0.3, seed in 0u64..100) {
+        let x = focus_data::synth::generate(&Benchmark::Pems04.scaled(2, 600), seed);
+        let y = outliers::inject(&x, 100..500, ratio, seed);
+        prop_assert!(y.all_finite());
+        // Values outside the injected range are untouched.
+        for e in 0..2 {
+            prop_assert_eq!(&x.data()[e * 600..e * 600 + 100], &y.data()[e * 600..e * 600 + 100]);
+            prop_assert_eq!(&x.data()[e * 600 + 500..(e + 1) * 600], &y.data()[e * 600 + 500..(e + 1) * 600]);
+        }
+        // Changed fraction tracks the requested ratio.
+        let changed = x.data().iter().zip(y.data()).filter(|(a, b)| a != b).count() as f64;
+        let eligible = (2 * 400) as f64;
+        prop_assert!((changed / eligible - ratio).abs() < 0.08);
+    }
+
+    #[test]
+    fn window_xy_are_contiguous(seed in 0u64..500, start in 0usize..100) {
+        let ds = MtsDataset::generate(Benchmark::Ettm1.scaled(2, 600), seed);
+        let w = ds.window_at(start, 32, 8);
+        // y immediately follows x in the underlying series.
+        for e in 0..2 {
+            let row = ds.data().row(e);
+            prop_assert_eq!(w.x.row(e), &row[start..start + 32]);
+            prop_assert_eq!(w.y.row(e), &row[start + 32..start + 40]);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Full softmax self-attention — the quadratic mechanism ProtoAttn replaces.
+//!
+//! Kept here because (a) the FOCUS-Attn ablation swaps it back in (Table IV),
+//! and (b) the transformer-family baselines (PatchTST-lite, Crossformer-lite)
+//! are built from it.
+
+use crate::cost::CostReport;
+use crate::linear::Linear;
+use focus_autograd::{Graph, ParamStore, ParamVars, Var};
+use rand::Rng;
+
+/// Single-head scaled-dot-product self-attention with output projection.
+///
+/// Input/output shape `[B, l, d]`. Complexity is `O(B·l²·d)` — quadratic in
+/// the sequence length, which is exactly the bottleneck the paper's offline
+/// clustering removes.
+pub struct SelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    d: usize,
+}
+
+impl SelfAttention {
+    /// A self-attention block over feature width `d`.
+    pub fn new<R: Rng + ?Sized>(ps: &mut ParamStore, name: &str, d: usize, rng: &mut R) -> Self {
+        SelfAttention {
+            wq: Linear::new_no_bias(ps, &format!("{name}.wq"), d, d, rng),
+            wk: Linear::new_no_bias(ps, &format!("{name}.wk"), d, d, rng),
+            wv: Linear::new_no_bias(ps, &format!("{name}.wv"), d, d, rng),
+            wo: Linear::new_no_bias(ps, &format!("{name}.wo"), d, d, rng),
+            d,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Applies attention to `x: [B, l, d]`, returning `[B, l, d]`.
+    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, x: Var) -> Var {
+        assert_eq!(g.value(x).rank(), 3, "SelfAttention expects [B, l, d]");
+        let q = self.wq.forward(g, pv, x);
+        let k = self.wk.forward(g, pv, x);
+        let v = self.wv.forward(g, pv, x);
+        let kt = g.transpose_last2(k);
+        let scores = g.bmm(q, kt); // [B, l, l]
+        let scaled = g.scale(scores, 1.0 / (self.d as f32).sqrt());
+        let attn = g.softmax_last(scaled);
+        let ctx = g.bmm(attn, v); // [B, l, d]
+        self.wo.forward(g, pv, ctx)
+    }
+
+    /// Analytic cost for a batch of `b` sequences of length `l`.
+    pub fn cost(&self, b: usize, l: usize) -> CostReport {
+        let rows = b * l;
+        let proj = self.wq.cost(rows) + self.wk.cost(rows) + self.wv.cost(rows) + self.wo.cost(rows);
+        // scores + context: two B·l·l·d MACs; softmax ≈ 5 FLOPs/score.
+        let attn_flops = 2 * (2 * b * l * l * self.d) as u64 + 5 * (b * l * l) as u64;
+        // The l×l score matrix dominates peak activation memory.
+        let attn_mem = (b * l * l * 4) as u64;
+        CostReport {
+            flops: proj.flops + attn_flops,
+            params: proj.params,
+            peak_mem_bytes: proj.peak_mem_bytes.max(attn_mem),
+        }
+    }
+}
+
+/// Multi-head scaled-dot-product self-attention.
+///
+/// Splits the `d`-wide projections into `h` heads of width `d/h`, attends
+/// per head, concatenates and projects — the mechanism the transformer
+/// baselines actually use. [`SelfAttention`] is the `h = 1` special case
+/// kept for the ablation variants.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    d: usize,
+    heads: usize,
+}
+
+impl MultiHeadAttention {
+    /// A multi-head block over feature width `d` with `heads` heads.
+    ///
+    /// # Panics
+    /// If `heads` does not divide `d`.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(heads >= 1, "need at least one head");
+        assert_eq!(d % heads, 0, "heads {heads} must divide d {d}");
+        MultiHeadAttention {
+            wq: Linear::new_no_bias(ps, &format!("{name}.wq"), d, d, rng),
+            wk: Linear::new_no_bias(ps, &format!("{name}.wk"), d, d, rng),
+            wv: Linear::new_no_bias(ps, &format!("{name}.wv"), d, d, rng),
+            wo: Linear::new_no_bias(ps, &format!("{name}.wo"), d, d, rng),
+            d,
+            heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Applies attention to `x: [B, l, d]`, returning `[B, l, d]`.
+    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, x: Var) -> Var {
+        assert_eq!(g.value(x).rank(), 3, "MultiHeadAttention expects [B, l, d]");
+        let q = self.wq.forward(g, pv, x);
+        let k = self.wk.forward(g, pv, x);
+        let v = self.wv.forward(g, pv, x);
+        let dh = self.d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx: Option<Var> = None;
+        for h in 0..self.heads {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qh = g.slice_last(q, lo, hi); // [B, l, dh]
+            let kh = g.slice_last(k, lo, hi);
+            let vh = g.slice_last(v, lo, hi);
+            let kt = g.transpose_last2(kh);
+            let scores = g.bmm(qh, kt);
+            let scaled = g.scale(scores, scale);
+            let attn = g.softmax_last(scaled);
+            let head = g.bmm(attn, vh); // [B, l, dh]
+            ctx = Some(match ctx {
+                None => head,
+                Some(acc) => g.concat_last(acc, head),
+            });
+        }
+        self.wo.forward(g, pv, ctx.expect("at least one head"))
+    }
+
+    /// Analytic cost for a batch of `b` sequences of length `l`.
+    ///
+    /// Head splitting changes constants, not asymptotics: the score/context
+    /// work totals the same `2·b·l²·d` MACs as single-head attention.
+    pub fn cost(&self, b: usize, l: usize) -> CostReport {
+        let rows = b * l;
+        let proj = self.wq.cost(rows) + self.wk.cost(rows) + self.wv.cost(rows) + self.wo.cost(rows);
+        let attn_flops = 2 * (2 * b * l * l * self.d) as u64 + 5 * (b * l * l * self.heads) as u64;
+        let attn_mem = (b * l * l * self.heads * 4) as u64;
+        CostReport {
+            flops: proj.flops + attn_flops,
+            params: proj.params,
+            peak_mem_bytes: proj.peak_mem_bytes.max(attn_mem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_autograd::Sgd;
+    use focus_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let attn = SelfAttention::new(&mut ps, "attn", 8, &mut rng);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let x = g.constant(Tensor::randn(&[2, 5, 8], 1.0, &mut rng));
+        let y = attn.forward(&mut g, &pv, x);
+        assert_eq!(g.value(y).dims(), &[2, 5, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn attention_can_learn_to_copy() {
+        // A single attention layer can learn a near-identity map.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let attn = SelfAttention::new(&mut ps, "attn", 4, &mut rng);
+        let mut opt = Sgd::new(0.1);
+        let x = Tensor::randn(&[1, 6, 4], 1.0, &mut rng);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..150 {
+            let mut g = Graph::new();
+            let pv = ps.register(&mut g);
+            let xv = g.constant(x.clone());
+            let y = attn.forward(&mut g, &pv, xv);
+            let loss = g.mse(y, xv);
+            g.backward(loss);
+            ps.step(&mut opt, &g, &pv);
+            if step == 0 {
+                first = g.value(loss).item();
+            }
+            last = g.value(loss).item();
+        }
+        assert!(last < first * 0.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn multi_head_forward_shape_and_single_head_equivalence_class() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut ps, "mha", 8, 4, &mut rng);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let x = g.constant(Tensor::randn(&[2, 5, 8], 1.0, &mut rng));
+        let y = mha.forward(&mut g, &pv, x);
+        assert_eq!(g.value(y).dims(), &[2, 5, 8]);
+        assert!(g.value(y).all_finite());
+        // Same parameter count as single-head at equal width.
+        let mut ps1 = ParamStore::new();
+        let sa = SelfAttention::new(&mut ps1, "sa", 8, &mut rng);
+        let _ = sa;
+        assert_eq!(ps.scalar_count(), ps1.scalar_count());
+    }
+
+    #[test]
+    fn multi_head_gradients_reach_all_heads() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut ps, "mha", 6, 3, &mut rng);
+        let mut g = Graph::new();
+        let pv = ps.register(&mut g);
+        let x = g.constant(Tensor::randn(&[1, 4, 6], 1.0, &mut rng));
+        let y = mha.forward(&mut g, &pv, x);
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        for (id, name, _) in ps.iter() {
+            let grad = g.grad(pv.var(id)).unwrap_or_else(|| panic!("{name} missing grad"));
+            assert!(grad.data().iter().any(|&v| v != 0.0), "{name} grad all-zero");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn multi_head_rejects_indivisible_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ps = ParamStore::new();
+        let _ = MultiHeadAttention::new(&mut ps, "mha", 8, 3, &mut rng);
+    }
+
+    #[test]
+    fn cost_is_quadratic_in_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let attn = SelfAttention::new(&mut ps, "attn", 16, &mut rng);
+        let c1 = attn.cost(1, 32);
+        let c2 = attn.cost(1, 64);
+        // Attention term dominates for l >> d; ratio should approach 4.
+        let growth = c2.flops as f64 / c1.flops as f64;
+        assert!(growth > 2.5, "growth {growth}");
+        assert!(c2.peak_mem_bytes == 4 * c1.peak_mem_bytes);
+    }
+}

@@ -1,0 +1,188 @@
+//! Analytic cost accounting: FLOPs, peak activation memory and parameter
+//! counts.
+//!
+//! The FOCUS paper evaluates efficiency with exactly these three
+//! platform-independent metrics (§VIII-A, "Metrics"): FLOPs, peak memory and
+//! parameter count, chosen "to minimize the impact of varying deep learning
+//! platforms". We follow the `thop` convention the LightCTS authors used:
+//! one multiply–accumulate = 2 FLOPs, pointwise ops ≈ a small constant per
+//! element.
+//!
+//! Every model in this repository exposes `fn cost(&self, ...) -> CostReport`
+//! built by summing layer costs; `CostReport` composes with `+` (sequential
+//! composition: FLOPs and params add, peak memory takes the running max of
+//! stage peaks).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Architectural cost of running a (sub)network once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total floating-point operations for one forward pass.
+    pub flops: u64,
+    /// Trainable scalar parameters.
+    pub params: u64,
+    /// Peak live activation bytes during the forward pass (f32).
+    pub peak_mem_bytes: u64,
+}
+
+impl CostReport {
+    /// A zero-cost report (identity for `+`).
+    pub const ZERO: CostReport = CostReport {
+        flops: 0,
+        params: 0,
+        peak_mem_bytes: 0,
+    };
+
+    /// Cost of a plain matmul `[m, k] · [k, n]` with no parameters
+    /// (e.g. attention scores).
+    pub fn matmul(m: usize, k: usize, n: usize) -> CostReport {
+        CostReport {
+            flops: 2 * (m * k * n) as u64,
+            params: 0,
+            peak_mem_bytes: (m * n * 4) as u64,
+        }
+    }
+
+    /// Cost of a pointwise op over `n` elements at `flops_per_elem` each.
+    pub fn pointwise(n: usize, flops_per_elem: u64) -> CostReport {
+        CostReport {
+            flops: n as u64 * flops_per_elem,
+            params: 0,
+            peak_mem_bytes: (n * 4) as u64,
+        }
+    }
+
+    /// Cost of a softmax over `rows` rows of width `n` (≈5 FLOPs/element).
+    pub fn softmax(rows: usize, n: usize) -> CostReport {
+        Self::pointwise(rows * n, 5)
+    }
+
+    /// Scales FLOPs and peak memory by a repetition count, keeping params
+    /// (weight sharing: running the same layer `times` times).
+    pub fn repeat_shared(self, times: u64) -> CostReport {
+        CostReport {
+            flops: self.flops * times,
+            params: self.params,
+            peak_mem_bytes: self.peak_mem_bytes,
+        }
+    }
+
+    /// FLOPs in millions, as the paper's tables report them.
+    pub fn mflops(&self) -> f64 {
+        self.flops as f64 / 1e6
+    }
+
+    /// Peak memory in MiB.
+    pub fn mem_mib(&self) -> f64 {
+        self.peak_mem_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Parameters in thousands, as the paper's tables report them.
+    pub fn kparams(&self) -> f64 {
+        self.params as f64 / 1e3
+    }
+}
+
+impl Add for CostReport {
+    type Output = CostReport;
+
+    /// Sequential composition: FLOPs and params accumulate; peak memory is
+    /// the maximum of the two stage peaks (activations of one stage are freed
+    /// before the next peaks).
+    fn add(self, rhs: CostReport) -> CostReport {
+        CostReport {
+            flops: self.flops + rhs.flops,
+            params: self.params + rhs.params,
+            peak_mem_bytes: self.peak_mem_bytes.max(rhs.peak_mem_bytes),
+        }
+    }
+}
+
+impl Sum for CostReport {
+    fn sum<I: Iterator<Item = CostReport>>(iter: I) -> CostReport {
+        iter.fold(CostReport::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} MFLOPs, {:.2} MiB peak, {:.1}K params",
+            self.mflops(),
+            self.mem_mib(),
+            self.kparams()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_composes_sequentially() {
+        let a = CostReport {
+            flops: 100,
+            params: 10,
+            peak_mem_bytes: 400,
+        };
+        let b = CostReport {
+            flops: 50,
+            params: 5,
+            peak_mem_bytes: 1000,
+        };
+        let c = a + b;
+        assert_eq!(c.flops, 150);
+        assert_eq!(c.params, 15);
+        assert_eq!(c.peak_mem_bytes, 1000);
+    }
+
+    #[test]
+    fn matmul_cost_is_2mkn() {
+        let c = CostReport::matmul(3, 4, 5);
+        assert_eq!(c.flops, 2 * 3 * 4 * 5);
+        assert_eq!(c.peak_mem_bytes, 3 * 5 * 4);
+    }
+
+    #[test]
+    fn repeat_shared_keeps_params() {
+        let c = CostReport {
+            flops: 10,
+            params: 7,
+            peak_mem_bytes: 3,
+        };
+        let r = c.repeat_shared(4);
+        assert_eq!(r.flops, 40);
+        assert_eq!(r.params, 7);
+        assert_eq!(r.peak_mem_bytes, 3);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: CostReport = (0..3)
+            .map(|_| CostReport {
+                flops: 1,
+                params: 1,
+                peak_mem_bytes: 2,
+            })
+            .sum();
+        assert_eq!(total.flops, 3);
+        assert_eq!(total.peak_mem_bytes, 2);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = CostReport {
+            flops: 2_000_000,
+            params: 3_000,
+            peak_mem_bytes: 2 * 1024 * 1024,
+        };
+        assert!((c.mflops() - 2.0).abs() < 1e-9);
+        assert!((c.kparams() - 3.0).abs() < 1e-9);
+        assert!((c.mem_mib() - 2.0).abs() < 1e-9);
+    }
+}

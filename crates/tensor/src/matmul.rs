@@ -1,0 +1,262 @@
+//! Matrix multiplication kernels.
+//!
+//! All kernels use the `i-k-j` loop order: the innermost loop walks a row of
+//! the right operand and a row of the output contiguously, which vectorises
+//! well and avoids strided reads. Transposed variants (`matmul_nt`,
+//! `matmul_tn`) are provided so callers never have to materialise a transpose
+//! on the hot path (the autograd backward passes need both).
+
+use crate::Tensor;
+
+/// `out[i, :] += a_ik * b[k, :]` — the shared inner kernel.
+#[inline]
+fn saxpy_row(out: &mut [f32], a_ik: f32, b_row: &[f32]) {
+    for (o, &b) in out.iter_mut().zip(b_row) {
+        *o += a_ik * b;
+    }
+}
+
+/// Raw GEMM: `c[m×n] = a[m×k] · b[k×n]`, all row-major slices.
+fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let a_ik = a[i * k + kk];
+            if a_ik != 0.0 {
+                saxpy_row(c_row, a_ik, &b[kk * n..(kk + 1) * n]);
+            }
+        }
+    }
+}
+
+/// `c[m×n] = a[m×k] · bᵀ` where `b` is `[n×k]` row-major.
+fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// `c[m×n] = aᵀ · b` where `a` is `[k×m]` row-major and `b` is `[k×n]`.
+fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    for kk in 0..k {
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let a_ki = a[kk * m + i];
+            if a_ki != 0.0 {
+                saxpy_row(&mut c[i * n..(i + 1) * n], a_ki, b_row);
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] · [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    /// On rank or inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {}", other.shape());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm(m, k, n, self.data(), other.data(), out.data_mut());
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose:
+    /// `[m, k] · [n, k]ᵀ → [m, n]`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm_nt(m, k, n, self.data(), other.data(), out.data_mut());
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose:
+    /// `[k, m]ᵀ · [k, n] → [m, n]`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm_tn(m, k, n, self.data(), other.data(), out.data_mut());
+        out
+    }
+
+    /// Batched matmul of rank-3 tensors: `[B, m, k] · [B, k, n] → [B, m, n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {}", other.shape());
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm batch dims: {} vs {}", self.shape(), other.shape());
+        assert_eq!(k, k2, "bmm inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            gemm(
+                m,
+                k,
+                n,
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                &other.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
+            );
+        }
+        out
+    }
+
+    /// Batched `self · otherᵀ`: `[B, m, k] · [B, n, k]ᵀ → [B, m, n]`.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_nt lhs must be rank 3");
+        assert_eq!(other.rank(), 3, "bmm_nt rhs must be rank 3");
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, n, k2) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm_nt batch dims: {} vs {}", self.shape(), other.shape());
+        assert_eq!(k, k2, "bmm_nt inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            gemm_nt(
+                m,
+                k,
+                n,
+                &self.data()[bi * m * k..(bi + 1) * m * k],
+                &other.data()[bi * n * k..(bi + 1) * n * k],
+                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
+            );
+        }
+        out
+    }
+
+    /// Batched `selfᵀ · other`: `[B, k, m]ᵀ · [B, k, n] → [B, m, n]`.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_tn lhs must be rank 3");
+        assert_eq!(other.rank(), 3, "bmm_tn rhs must be rank 3");
+        let (b, k, m) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm_tn batch dims: {} vs {}", self.shape(), other.shape());
+        assert_eq!(k, k2, "bmm_tn inner dims: {} vs {}", self.shape(), other.shape());
+        let mut out = Tensor::zeros(&[b, m, n]);
+        for bi in 0..b {
+            gemm_tn(
+                m,
+                k,
+                n,
+                &self.data()[bi * k * m..(bi + 1) * k * m],
+                &other.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        assert!(a.matmul(&Tensor::eye(5)).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn(&[3, 2, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 4, 5], 1.0, &mut rng);
+        let c = a.bmm(&b);
+        for bi in 0..3 {
+            let expect = a.index_axis0(bi).matmul(&b.index_axis0(bi));
+            assert!(c.index_axis0(bi).max_abs_diff(&expect) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bmm_nt_and_tn_match_explicit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[2, 5, 4], 1.0, &mut rng);
+        let nt = a.bmm_nt(&b);
+        let slow = a.bmm(&b.transpose_last2());
+        assert!(nt.max_abs_diff(&slow) < 1e-5);
+
+        // bmm_tn(x, y) = xᵀ · y per batch, so bmm_tn(aᵀ, c) == a · c.
+        let c = Tensor::randn(&[2, 4, 5], 1.0, &mut rng);
+        let tn = a.transpose_last2().bmm_tn(&c);
+        let direct = a.bmm(&c);
+        assert!(tn.max_abs_diff(&direct) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_associativity_with_scaling() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::randn(&[3, 3], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 3], 1.0, &mut rng);
+        let left = a.scale(2.0).matmul(&b);
+        let right = a.matmul(&b).scale(2.0);
+        assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reductions: sums, means, variances, min/max, along the whole tensor or the
+//! trailing axis.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (accumulated in `f64` for stability).
+    pub fn sum_all(&self) -> f32 {
+        self.data().iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    /// If the tensor is empty.
+    pub fn mean_all(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of an empty tensor");
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Population variance of all elements.
+    pub fn var_all(&self) -> f32 {
+        assert!(self.numel() > 0, "variance of an empty tensor");
+        let mean = self.mean_all() as f64;
+        let ss: f64 = self
+            .data()
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum();
+        (ss / self.numel() as f64) as f32
+    }
+
+    /// Maximum element.
+    pub fn max_all(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min_all(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum over the trailing axis: `[.., n] → [..]` (shape loses the last dim).
+    pub fn sum_last(&self) -> Tensor {
+        let n = self.shape().last_dim();
+        assert!(n > 0, "sum over an empty trailing axis");
+        let rows = self.shape().leading();
+        let mut data = Vec::with_capacity(rows);
+        for i in 0..rows {
+            data.push(self.data()[i * n..(i + 1) * n].iter().sum());
+        }
+        let dims: Vec<usize> = self.dims()[..self.rank() - 1].to_vec();
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Mean over the trailing axis.
+    pub fn mean_last(&self) -> Tensor {
+        let n = self.shape().last_dim();
+        self.sum_last().scale(1.0 / n as f32)
+    }
+
+    /// Per-row `(mean, population std)` of a tensor viewed as `[leading, last]`.
+    ///
+    /// Rows with zero variance report `std = 0`.
+    pub fn row_mean_std(&self) -> Vec<(f32, f32)> {
+        let n = self.shape().last_dim();
+        let rows = self.shape().leading();
+        let mut out = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = &self.data()[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            out.push((mean, var.max(0.0).sqrt()));
+        }
+        out
+    }
+
+    /// Sum over the first axis: `[b, ..] → [..]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert!(self.rank() >= 1, "sum_axis0 requires rank >= 1");
+        let b = self.dims()[0];
+        let inner: usize = self.dims()[1..].iter().product();
+        let mut data = vec![0.0f32; inner];
+        for bi in 0..b {
+            for (o, &v) in data.iter_mut().zip(&self.data()[bi * inner..(bi + 1) * inner]) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(data, &self.dims()[1..])
+    }
+
+    /// Index of the maximum element of a rank-1 tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(self.numel() > 0, "argmax of an empty tensor");
+        let mut best = 0;
+        let mut best_v = self.data()[0];
+        for (i, &v) in self.data().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn sum_mean_var() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum_all(), 10.0);
+        assert_eq!(t.mean_all(), 2.5);
+        assert_eq!(t.var_all(), 1.25);
+        assert_eq!(t.max_all(), 4.0);
+        assert_eq!(t.min_all(), 1.0);
+    }
+
+    #[test]
+    fn sum_last_drops_axis() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let s = t.sum_last();
+        assert_eq!(s.dims(), &[2]);
+        assert_eq!(s.data(), &[3.0, 12.0]);
+        let m = t.mean_last();
+        assert_eq!(m.data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_axis0_folds_batches() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]);
+        let s = t.sum_axis0();
+        assert_eq!(s.dims(), &[4]);
+        assert_eq!(s.data(), &[12.0, 15.0, 18.0, 21.0]);
+    }
+
+    #[test]
+    fn row_mean_std_handles_constant_rows() {
+        let t = Tensor::from_vec(vec![2.0, 2.0, 2.0, 1.0, 2.0, 3.0], &[2, 3]);
+        let ms = t.row_mean_std();
+        assert_eq!(ms[0], (2.0, 0.0));
+        assert!((ms[1].0 - 2.0).abs() < 1e-6);
+        assert!((ms[1].1 - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.3], &[3]);
+        assert_eq!(t.argmax(), 1);
+    }
+}

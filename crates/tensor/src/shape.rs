@@ -1,0 +1,136 @@
+//! Shape bookkeeping: a thin wrapper over a dimension list with the index
+//! arithmetic the kernels need.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension sizes.
+///
+/// Shapes are immutable once created. A scalar is represented by the empty
+/// shape `[]` with `numel() == 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Box<[usize]>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Number of dimensions (rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`. Panics if `i >= rank()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of the trailing dimension, or 1 for a scalar.
+    #[inline]
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Number of rows when the tensor is viewed as a matrix of
+    /// `[numel / last_dim, last_dim]`.
+    #[inline]
+    pub fn leading(&self) -> usize {
+        self.numel().checked_div(self.last_dim()).unwrap_or(0)
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// True if both shapes have the same dimension list.
+    #[inline]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.last_dim(), 4);
+        assert_eq!(s.leading(), 6);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.last_dim(), 1);
+        assert_eq!(s.leading(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn zero_dim_shape() {
+        let s = Shape::new(&[0, 5]);
+        assert_eq!(s.numel(), 0);
+        assert_eq!(s.leading(), 0);
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Shape::new(&[2, 3]).same_as(&Shape::from([2, 3])));
+        assert!(!Shape::new(&[2, 3]).same_as(&Shape::new(&[3, 2])));
+    }
+}

@@ -1,0 +1,166 @@
+//! Statistics over `f32` slices: Pearson correlation, z-scores, Euclidean
+//! distances.
+//!
+//! These are the primitives behind the paper's composite clustering distance
+//! (Eq. 6): `‖x − c‖² + α · (1 − corr(x, c))`.
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// If either input has zero variance the correlation is undefined; this
+/// implementation returns `0.0` in that case so the composite distance of
+/// Eq. 6 stays finite (a flat segment carries no shape information, so "no
+/// correlation" is the neutral choice).
+///
+/// # Panics
+/// If the slices have different lengths or are empty.
+pub fn pearson(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "pearson length mismatch: {} vs {}", x.len(), y.len());
+    assert!(!x.is_empty(), "pearson of empty slices");
+    let n = x.len() as f64;
+    let mx: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let my: f64 = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut sxy = 0.0f64;
+    let mut sxx = 0.0f64;
+    let mut syy = 0.0f64;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a as f64 - mx;
+        let dy = b as f64 - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return 0.0;
+    }
+    let r = sxy / (sxx.sqrt() * syy.sqrt());
+    // Floating-point noise can push |r| infinitesimally past 1.
+    r.clamp(-1.0, 1.0) as f32
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn sq_euclidean(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "sq_euclidean length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum::<f64>() as f32
+}
+
+/// Mean and population standard deviation of a slice.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+pub fn mean_std(x: &[f32]) -> (f32, f32) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = x.len() as f64;
+    let mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = x
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean as f32, var.max(0.0).sqrt() as f32)
+}
+
+/// Z-score normalises a slice in place using the given statistics.
+///
+/// A `std` of zero (constant series) leaves values centred but unscaled,
+/// matching the convention of the standard MTS forecasting pipelines which
+/// guard the division with a small epsilon.
+pub fn zscore_in_place(x: &mut [f32], mean: f32, std: f32) {
+    let denom = if std > 1e-8 { std } else { 1.0 };
+    for v in x.iter_mut() {
+        *v = (*v - mean) / denom;
+    }
+}
+
+/// Inverts [`zscore_in_place`].
+pub fn un_zscore_in_place(x: &mut [f32], mean: f32, std: f32) {
+    let denom = if std > 1e-8 { std } else { 1.0 };
+    for v in x.iter_mut() {
+        *v = *v * denom + mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_paper_example() {
+        // Example 2 from the paper: A={9,10,11}, B={7,10,13}, C={11,10,9}.
+        // A correlates perfectly with B and anti-correlates with C, even
+        // though the Euclidean distances tie.
+        let a = [9.0, 10.0, 11.0];
+        let b = [7.0, 10.0, 13.0];
+        let c = [11.0, 10.0, 9.0];
+        assert!((sq_euclidean(&a, &b) - sq_euclidean(&a, &c)).abs() < 1e-6);
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        let flat = [5.0, 5.0, 5.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&flat, &y), 0.0);
+        assert_eq!(pearson(&y, &flat), 0.0);
+        assert_eq!(pearson(&flat, &flat), 0.0);
+    }
+
+    #[test]
+    fn pearson_shift_and_scale_invariant() {
+        let x = [0.3, -1.2, 2.5, 0.0, 1.1];
+        let y: Vec<f32> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sq_euclidean_known() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn zscore_round_trip() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let (m, s) = mean_std(&x);
+        zscore_in_place(&mut x, m, s);
+        let (m2, s2) = mean_std(&x);
+        assert!(m2.abs() < 1e-6);
+        assert!((s2 - 1.0).abs() < 1e-5);
+        un_zscore_in_place(&mut x, m, s);
+        assert!((x[0] - 1.0).abs() < 1e-5 && (x[3] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zscore_constant_series_is_safe() {
+        let mut x = vec![2.0, 2.0];
+        let (m, s) = mean_std(&x);
+        zscore_in_place(&mut x, m, s);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

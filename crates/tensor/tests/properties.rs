@@ -1,0 +1,111 @@
+//! Property-based tests for the tensor kernels: the algebraic identities that
+//! must hold for arbitrary (finite, bounded) inputs.
+
+use focus_tensor::{stats, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given dims with bounded finite entries.
+fn matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| Tensor::from_vec(v, &[m, n]))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(4, 2),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_nt_tn_agree_with_naive(a in matrix(3, 5), b in matrix(4, 5), c in matrix(3, 4)) {
+        prop_assert!(a.matmul_nt(&b).max_abs_diff(&a.matmul(&b.transpose())) < 1e-3);
+        prop_assert!(c.matmul_tn(&a).max_abs_diff(&c.transpose().matmul(&a)) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(4, 6)) {
+        let s = a.softmax_last();
+        prop_assert!(s.all_finite());
+        for i in 0..4 {
+            let row = s.row(i);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in matrix(1, 8)) {
+        let s = a.softmax_last();
+        prop_assert_eq!(a.argmax(), s.argmax());
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        x in prop::collection::vec(-100.0f32..100.0, 16),
+        y in prop::collection::vec(-100.0f32..100.0, 16),
+    ) {
+        let r = stats::pearson(&x, &y);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        let r2 = stats::pearson(&y, &x);
+        prop_assert!((r - r2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_self_is_one_unless_flat(x in prop::collection::vec(-100.0f32..100.0, 16)) {
+        let (_, s) = stats::mean_std(&x);
+        let r = stats::pearson(&x, &x);
+        if s > 1e-3 {
+            prop_assert!((r - 1.0).abs() < 1e-4, "r = {r}, std = {s}");
+        } else {
+            // Near-constant input: correlation defined as 0 or 1 depending on
+            // exact variance; only boundedness is guaranteed.
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn sq_euclidean_is_a_metric_squared(
+        x in prop::collection::vec(-50.0f32..50.0, 8),
+        y in prop::collection::vec(-50.0f32..50.0, 8),
+    ) {
+        prop_assert!(stats::sq_euclidean(&x, &y) >= 0.0);
+        prop_assert!((stats::sq_euclidean(&x, &y) - stats::sq_euclidean(&y, &x)).abs() < 1e-3);
+        prop_assert!(stats::sq_euclidean(&x, &x) < 1e-6);
+    }
+
+    #[test]
+    fn concat_split_round_trip(a in matrix(3, 4), b in matrix(3, 2)) {
+        let c = a.concat_last(&b);
+        let (x, y) = c.split_last(4);
+        prop_assert_eq!(x.data(), a.data());
+        prop_assert_eq!(y.data(), b.data());
+    }
+
+    #[test]
+    fn stack_index_round_trip(a in matrix(2, 3), b in matrix(2, 3)) {
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        let s0 = s.index_axis0(0);
+        let s1 = s.index_axis0(1);
+        prop_assert_eq!(s0.data(), a.data());
+        prop_assert_eq!(s1.data(), b.data());
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in matrix(3, 8)) {
+        let r = a.reshape(&[2, 3, 4]);
+        prop_assert!((r.sum_all() - a.sum_all()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,51 @@
+//! League table: train every model in the zoo (FOCUS + 7 baselines) on the
+//! same dataset and print accuracy next to the analytic efficiency metrics —
+//! a miniature of the paper's Table III + Fig. 6.
+//!
+//! Run with: `cargo run --release --example model_zoo`
+
+use focus::{BaselineConfig, Benchmark, ModelKind, MtsDataset, Split, TrainOptions};
+
+fn main() {
+    let ds = MtsDataset::generate(Benchmark::Pems08.scaled(12, 3_000), 33);
+    println!(
+        "dataset: {}-like, {} entities × {} steps; lookback 96 → horizon 24\n",
+        ds.spec().name,
+        ds.spec().entities,
+        ds.spec().len
+    );
+
+    let cfg = BaselineConfig {
+        d: 24,
+        n_prototypes: 10,
+        ..BaselineConfig::new(96, 24)
+    };
+    let opts = TrainOptions {
+        epochs: 10,
+        max_windows: 64,
+        ..Default::default()
+    };
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "model", "MSE", "MAE", "MFLOPs", "Mem(MiB)", "Params(K)"
+    );
+    let mut rows = Vec::new();
+    for kind in ModelKind::ALL {
+        let mut model = cfg.build(kind, &ds);
+        model.train(&ds, &opts);
+        let m = model.evaluate(&ds, Split::Test, 48);
+        let c = model.cost(ds.spec().entities);
+        rows.push((kind.label(), m.mse(), m.mae(), c));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, mse, mae, c) in rows {
+        println!(
+            "{name:<14} {mse:>8.4} {mae:>8.4} {:>10.2} {:>10.3} {:>10.1}",
+            c.mflops(),
+            c.mem_mib(),
+            c.kparams()
+        );
+    }
+    println!("\n(sorted by MSE; efficiency metrics are analytic, per forward pass)");
+}

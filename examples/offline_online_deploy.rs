@@ -1,0 +1,77 @@
+//! Deployment-split scenario: the paper's two-phase design means the
+//! expensive clustering runs **once, offline** (e.g. a nightly batch job)
+//! and the online service only loads the prototype file and trains/serves
+//! the lightweight network.
+//!
+//! This example plays both roles in one process, with the prototype file as
+//! the hand-off artifact.
+//!
+//! Run with: `cargo run --release --example offline_online_deploy`
+
+use focus::{
+    Benchmark, Focus, FocusConfig, Forecaster, MtsDataset, Prototypes, Split, TrainOptions,
+};
+use std::time::Instant;
+
+fn main() {
+    let ds = MtsDataset::generate(Benchmark::Electricity.scaled(12, 4_000), 99);
+    let mut cfg = FocusConfig::new(96, 24);
+    cfg.segment_len = 12;
+    cfg.n_prototypes = 10;
+    cfg.d = 24;
+
+    let proto_path = std::env::temp_dir().join("focus_prototypes.txt");
+
+    // ---- Offline worker -------------------------------------------------
+    {
+        let t0 = Instant::now();
+        let prototypes = cfg.cluster(&ds.train_matrix(), 1);
+        prototypes.save(&proto_path).expect("persist prototypes");
+        println!(
+            "[offline] clustered {} train segments into {} prototypes in {:.0} ms",
+            ds.train_matrix().numel() / cfg.segment_len,
+            prototypes.k(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        println!("[offline] wrote {}", proto_path.display());
+    }
+
+    // ---- Online service --------------------------------------------------
+    {
+        let prototypes = Prototypes::load(&proto_path).expect("load prototypes");
+        println!(
+            "[online]  loaded {} prototypes (objective {:?})",
+            prototypes.k(),
+            prototypes.objective()
+        );
+        let mut model = Focus::with_prototypes(cfg.clone(), prototypes, 1);
+        let report = model.train(
+            &ds,
+            &TrainOptions {
+                epochs: 30,
+                max_windows: 64,
+                patience: Some(4),
+                ..Default::default()
+            },
+        );
+        println!(
+            "[online]  trained {} epochs (best validation at epoch {:?})",
+            report.epoch_losses.len(),
+            report.best_epoch
+        );
+
+        let t0 = Instant::now();
+        let metrics = model.evaluate(&ds, Split::Test, 24);
+        let n_windows = ds.windows(Split::Test, 96, 24, 24).len();
+        println!(
+            "[online]  test MSE {:.4}, MAE {:.4}  ({} windows in {:.0} ms — {:.1} ms/forecast)",
+            metrics.mse(),
+            metrics.mae(),
+            n_windows,
+            t0.elapsed().as_secs_f64() * 1e3,
+            t0.elapsed().as_secs_f64() * 1e3 / n_windows as f64
+        );
+    }
+
+    std::fs::remove_file(&proto_path).ok();
+}

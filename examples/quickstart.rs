@@ -1,0 +1,68 @@
+//! Quickstart: the full FOCUS pipeline in ~50 lines.
+//!
+//! 1. Generate a small PEMS08-like traffic dataset.
+//! 2. Run the offline clustering phase to discover prototypes.
+//! 3. Train the online network for a few epochs.
+//! 4. Forecast and report accuracy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use focus::{Benchmark, Focus, FocusConfig, Forecaster, MtsDataset, Split, TrainOptions};
+
+fn main() {
+    // A laptop-scale stand-in for PEMS08: 16 sensors, ~14 days of 5-minute
+    // readings (see DESIGN.md §4 for why synthetic data preserves the
+    // relevant structure).
+    let ds = MtsDataset::generate(Benchmark::Pems08.scaled(16, 4_032), 42);
+    println!(
+        "dataset: {} — {} entities × {} steps",
+        ds.spec().name,
+        ds.spec().entities,
+        ds.spec().len
+    );
+
+    // Offline phase: cluster training segments into k prototypes.
+    let mut cfg = FocusConfig::new(96, 24);
+    cfg.segment_len = 12;
+    cfg.n_prototypes = 12;
+    cfg.d = 32;
+    let mut model = Focus::fit_offline(&ds, cfg, 7);
+    println!(
+        "offline phase done: {} prototypes of length {}",
+        model.prototypes().k(),
+        model.prototypes().segment_len()
+    );
+
+    // Online phase: train the dual-branch network.
+    let report = model.train(
+        &ds,
+        &TrainOptions {
+            epochs: 5,
+            max_windows: 64,
+            ..Default::default()
+        },
+    );
+    println!("training loss per epoch: {:?}", report.epoch_losses);
+
+    // Forecast on the held-out test split.
+    let metrics = model.evaluate(&ds, Split::Test, 24);
+    println!(
+        "test accuracy over {} points: MSE {:.4}, MAE {:.4}",
+        metrics.count(),
+        metrics.mse(),
+        metrics.mae()
+    );
+
+    // Show one concrete forecast.
+    let test_range = ds.range(Split::Test);
+    let w = ds.window_at(test_range.start, 96, 24);
+    let pred = model.predict(&w.x);
+    println!("\nentity 0, first 8 forecast steps vs truth:");
+    for t in 0..8 {
+        println!("  t+{t:<2} pred {:+.3}   true {:+.3}", pred.at2(0, t), w.y.at2(0, t));
+    }
+
+    // The efficiency story: analytic cost of one forward pass.
+    let cost = model.cost(ds.spec().entities);
+    println!("\nforward-pass cost: {cost}");
+}
