@@ -1,0 +1,178 @@
+//! Throughput benchmark for the tensor backend's hot kernels: serial
+//! reference GEMM vs the cache-blocked/tiled path, swept across worker
+//! thread counts (1/2/4/max via [`focus_tensor::par::set_threads`]), plus
+//! the nearest-prototype `assign_all` sweep.
+//!
+//! Besides printing per-config timings, the run rewrites
+//! `BENCH_kernels.json` at the repository root so the numbers are tracked
+//! alongside the code. Thread scaling beyond the host's core count cannot
+//! speed anything up, so the JSON records the core count next to the sweep.
+
+use focus_cluster::{ClusterConfig, Objective, ProtoUpdate};
+use focus_tensor::{par, reference, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds, after one warm-up call.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1e6)
+}
+
+struct Sweep {
+    label: &'static str,
+    naive_ns: f64,
+    /// `(threads, ns)` for the tiled path.
+    tiled: Vec<(usize, f64)>,
+}
+
+impl Sweep {
+    fn tiled_t1(&self) -> f64 {
+        self.tiled.iter().find(|&&(t, _)| t == 1).map_or(f64::NAN, |&(_, ns)| ns)
+    }
+
+    fn report(&self) {
+        println!(
+            "{}: naive {} | tiling speedup at 1 thread: {:.2}x",
+            self.label,
+            fmt_ms(self.naive_ns),
+            self.naive_ns / self.tiled_t1()
+        );
+        for &(t, ns) in &self.tiled {
+            println!("  tiled, {t} thread(s): {}", fmt_ms(ns));
+        }
+    }
+
+    fn json(&self, out: &mut String) {
+        let _ = write!(out, "  \"{}\": {{\n    \"naive_ns\": {:.0},\n", self.label, self.naive_ns);
+        for &(t, ns) in &self.tiled {
+            let _ = writeln!(out, "    \"tiled_t{t}_ns\": {ns:.0},");
+        }
+        let _ = write!(
+            out,
+            "    \"tiling_speedup_1_thread\": {:.3}\n  }}",
+            self.naive_ns / self.tiled_t1()
+        );
+    }
+}
+
+fn sweep_threads() -> Vec<usize> {
+    let mut ts = vec![1usize, 2, 4];
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !ts.contains(&max) {
+        ts.push(max);
+    }
+    ts
+}
+
+fn bench_gemm(m: usize, k: usize, n: usize) -> [Sweep; 3] {
+    let mut rng = StdRng::seed_from_u64(0x6e3a);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+    let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+    let reps = 7;
+
+    let mut c = Tensor::zeros(&[m, n]);
+    let naive_nn = time_ns(reps, || {
+        c.data_mut().fill(0.0);
+        reference::gemm(m, k, n, a.data(), b.data(), c.data_mut());
+        black_box(c.data());
+    });
+    let naive_nt = time_ns(reps, || {
+        reference::gemm_nt(m, k, n, a.data(), bt.data(), c.data_mut());
+        black_box(c.data());
+    });
+    let naive_tn = time_ns(reps, || {
+        c.data_mut().fill(0.0);
+        reference::gemm_tn(m, k, n, at.data(), b.data(), c.data_mut());
+        black_box(c.data());
+    });
+
+    let mut sweeps = [
+        Sweep { label: "gemm_256", naive_ns: naive_nn, tiled: Vec::new() },
+        Sweep { label: "gemm_nt_256", naive_ns: naive_nt, tiled: Vec::new() },
+        Sweep { label: "gemm_tn_256", naive_ns: naive_tn, tiled: Vec::new() },
+    ];
+    for t in sweep_threads() {
+        par::set_threads(t);
+        sweeps[0].tiled.push((t, time_ns(reps, || {
+            black_box(a.matmul(&b));
+        })));
+        sweeps[1].tiled.push((t, time_ns(reps, || {
+            black_box(a.matmul_nt(&bt));
+        })));
+        sweeps[2].tiled.push((t, time_ns(reps, || {
+            black_box(at.matmul_tn(&b));
+        })));
+    }
+    par::set_threads(0);
+    sweeps
+}
+
+fn bench_assign_all() -> Sweep {
+    let (n, p, k) = (20_000usize, 32usize, 64usize);
+    let mut rng = StdRng::seed_from_u64(0xa551);
+    let segs = Tensor::randn(&[n, p], 1.0, &mut rng);
+    let protos = ClusterConfig::new(k, p)
+        .with_objective(Objective::RecOnly)
+        .with_update(ProtoUpdate::ClosedFormMean)
+        .with_max_iters(3)
+        .fit(&segs, 1);
+    let reps = 5;
+
+    // "Naive" = the per-segment serial loop assign_all replaces.
+    let naive_ns = time_ns(reps, || {
+        let out: Vec<usize> = (0..n).map(|i| protos.assign(segs.row(i))).collect();
+        black_box(out);
+    });
+    let mut sweep = Sweep { label: "assign_all_20000x32_k64", naive_ns, tiled: Vec::new() };
+    for t in sweep_threads() {
+        par::set_threads(t);
+        sweep.tiled.push((t, time_ns(reps, || {
+            black_box(protos.assign_all(&segs));
+        })));
+    }
+    par::set_threads(0);
+    sweep
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("kernel throughput sweep (host cores: {cores})");
+
+    let gemm = bench_gemm(256, 256, 256);
+    let assign = bench_assign_all();
+    for s in &gemm {
+        s.report();
+    }
+    assign.report();
+
+    let mut json = String::from("{\n");
+    let _ = write!(json, "  \"host_cores\": {cores},\n  \"shape\": \"256x256x256\",\n");
+    for s in &gemm {
+        s.json(&mut json);
+        json.push_str(",\n");
+    }
+    assign.json(&mut json);
+    json.push_str("\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

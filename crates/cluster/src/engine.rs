@@ -9,9 +9,32 @@
 //! ```
 
 use crate::objective::{corr_grad_wrt_prototype, Objective};
-use focus_tensor::Tensor;
+use focus_tensor::{par, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Minimum distance-evaluation work (~`segments × k × p` flops) per thread
+/// before the assignment sweeps go parallel.
+const ASSIGN_GRAIN_FLOPS: usize = 64 * 1024;
+
+/// Segments per thread for a sweep costing `cost_per_seg` flops each.
+fn assign_grain(cost_per_seg: usize) -> usize {
+    ASSIGN_GRAIN_FLOPS.div_ceil(cost_per_seg.max(1)).max(1)
+}
+
+/// Nearest prototype to `seg` among `centers: [k, p]`: `(index, distance)`.
+fn nearest_center(seg: &[f32], centers: &Tensor, k: usize, objective: &Objective) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for j in 0..k {
+        let d = objective.distance(seg, centers.row(j));
+        if d < best_d {
+            best_d = d;
+            best = j;
+        }
+    }
+    (best, best_d)
+}
 
 /// Cuts a `[N, T]` series matrix into non-overlapping length-`p` segments
 /// from every entity, producing `[num_segments, p]`. Trailing partial
@@ -134,21 +157,21 @@ impl ClusterConfig {
         let mut trace = FitTrace::default();
         let mut adam = AdamState::new(self.k, p);
 
+        let mut nearest = vec![(0usize, 0.0f32); n];
         for iter in 0..self.max_iters {
-            // Assignment step (Eq. 6).
+            // Assignment step (Eq. 6). The per-segment nearest-prototype
+            // search is embarrassingly parallel; the f64 loss is then folded
+            // serially in ascending segment order so the trace is
+            // bitwise-identical to a fully serial run.
+            let grain = assign_grain(self.k * p);
+            par::parallel_fill(&mut nearest, grain, |range, chunk| {
+                for (i, o) in range.zip(chunk.iter_mut()) {
+                    *o = nearest_center(segments.row(i), &centers, self.k, &self.objective);
+                }
+            });
             let mut changed = 0usize;
             let mut loss = 0.0f64;
-            for (i, slot) in assignment.iter_mut().enumerate() {
-                let seg = segments.row(i);
-                let mut best = 0usize;
-                let mut best_d = f32::INFINITY;
-                for j in 0..self.k {
-                    let d = self.objective.distance(seg, centers.row(j));
-                    if d < best_d {
-                        best_d = d;
-                        best = j;
-                    }
-                }
+            for (slot, &(best, best_d)) in assignment.iter_mut().zip(&nearest) {
                 if *slot != best {
                     changed += 1;
                     *slot = best;
@@ -248,25 +271,26 @@ impl Prototypes {
             segment.len(),
             self.segment_len()
         );
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for j in 0..self.k() {
-            let d = self.objective.distance(segment, self.centers.row(j));
-            if d < best_d {
-                best_d = d;
-                best = j;
-            }
-        }
-        best
+        nearest_center(segment, &self.centers, self.k(), &self.objective).0
     }
 
     /// Assigns every row of `segments: [n, p]`, returning the bucket index
     /// per segment.
+    ///
+    /// Runs on the scoped thread pool for large batches; each segment's
+    /// assignment is independent, so the result is identical to a serial
+    /// [`Prototypes::assign`] loop at any thread count.
     pub fn assign_all(&self, segments: &Tensor) -> Vec<usize> {
         assert_eq!(segments.rank(), 2, "segments must be [n, p]");
-        (0..segments.dims()[0])
-            .map(|i| self.assign(segments.row(i)))
-            .collect()
+        let n = segments.dims()[0];
+        let mut out = vec![0usize; n];
+        let grain = assign_grain(self.k() * self.segment_len());
+        par::parallel_fill(&mut out, grain, |range, chunk| {
+            for (i, o) in range.zip(chunk.iter_mut()) {
+                *o = self.assign(segments.row(i));
+            }
+        });
+        out
     }
 
     /// The distance from `segment` to its nearest prototype.
@@ -283,9 +307,16 @@ fn kmeans_pp_init(segments: &Tensor, k: usize, objective: &Objective, rng: &mut 
     let first = rng.gen_range(0..n);
     centers.data_mut()[..p].copy_from_slice(segments.row(first));
 
-    let mut dists: Vec<f32> = (0..n)
-        .map(|i| objective.distance(segments.row(i), centers.row(0)))
-        .collect();
+    // Distance sweeps below are per-segment independent (parallel, bitwise
+    // identical to serial); the weighted pick itself stays serial so the RNG
+    // stream and the f64 prefix scan keep their exact order.
+    let grain = assign_grain(p);
+    let mut dists = vec![0.0f32; n];
+    par::parallel_fill(&mut dists, grain, |range, chunk| {
+        for (i, d) in range.zip(chunk.iter_mut()) {
+            *d = objective.distance(segments.row(i), centers.row(0));
+        }
+    });
 
     for j in 1..k {
         let total: f64 = dists.iter().map(|&d| d.max(0.0) as f64).sum();
@@ -304,12 +335,15 @@ fn kmeans_pp_init(segments: &Tensor, k: usize, objective: &Objective, rng: &mut 
             chosen
         };
         centers.data_mut()[j * p..(j + 1) * p].copy_from_slice(segments.row(pick));
-        for (i, d) in dists.iter_mut().enumerate() {
-            let nd = objective.distance(segments.row(i), centers.row(j));
-            if nd < *d {
-                *d = nd;
+        let centers_ref = &centers;
+        par::parallel_rows(&mut dists, 1, grain, 1, |i0, chunk| {
+            for (off, d) in chunk.iter_mut().enumerate() {
+                let nd = objective.distance(segments.row(i0 + off), centers_ref.row(j));
+                if nd < *d {
+                    *d = nd;
+                }
             }
-        }
+        });
     }
     centers
 }

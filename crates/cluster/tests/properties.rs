@@ -79,4 +79,28 @@ proptest! {
         let segs = segment_matrix(&series, p);
         prop_assert_eq!(segs.dims(), &[entities * (t / p), p]);
     }
+
+    #[test]
+    fn assign_all_and_fit_bitwise_match_serial(segs in segments(900, 6), seed in 0u64..1 << 32) {
+        // Parallel assignment sweeps must be indistinguishable from serial:
+        // same bucket per segment from `assign_all`, and — because the fit
+        // loop's assignment step and the k-means++ init also run on the pool
+        // — bit-for-bit identical fitted prototypes at every thread count.
+        // (900 segments is past the sweep's parallel grain, so threads > 1
+        // genuinely engage.)
+        let cfg = ClusterConfig::new(5, 6).with_max_iters(4);
+        focus_tensor::par::set_threads(1);
+        let protos_serial = cfg.fit(&segs, seed);
+        let serial: Vec<usize> = (0..segs.dims()[0]).map(|i| protos_serial.assign(segs.row(i))).collect();
+        for threads in [2usize, 4] {
+            focus_tensor::par::set_threads(threads);
+            let protos = cfg.fit(&segs, seed);
+            prop_assert_eq!(
+                protos.centers().data(), protos_serial.centers().data(),
+                "fit diverged at {} threads", threads
+            );
+            prop_assert_eq!(&protos_serial.assign_all(&segs), &serial, "assign_all diverged at {} threads", threads);
+        }
+        focus_tensor::par::set_threads(0);
+    }
 }

@@ -1,0 +1,362 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access, so this crate provides the
+//! surface the workspace's `harness = false` benches use: [`Criterion`],
+//! benchmark groups with `sample_size`/`measurement_time`/`warm_up_time`/
+//! `throughput`, [`BenchmarkId`], `bench_function`/`bench_with_input`, and
+//! [`Bencher::iter`], plus the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up for `warm_up_time`, then
+//! timed in batches until `measurement_time` elapses (or at least
+//! `sample_size` batches have run). Mean, best and worst batch times are
+//! printed to stdout — no HTML reports, statistics or comparison baselines.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per binary.
+#[derive(Default)]
+pub struct Criterion {
+    default_cfg: MeasureConfig,
+}
+
+impl Criterion {
+    /// Sets the default minimum number of timed batches (builder form, for
+    /// `criterion_group! { config = ... }`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default measurement budget (builder form).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.default_cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the default warm-up budget (builder form).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.default_cfg.warm_up_time = d;
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.default_cfg,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_cfg, f);
+        self
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Records the per-iteration workload (printed alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let label = match t {
+            Throughput::Elements(n) => format!("{n} elements/iter"),
+            Throughput::Bytes(n) => format!("{n} bytes/iter"),
+        };
+        println!("{}: throughput {}", self.name, label);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.cfg, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.cfg, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier: a function name, a parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The display form.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    /// Batch time samples collected so far (one per `iter` batch).
+    samples: Vec<Duration>,
+    iters_per_batch: u64,
+    mode: Mode,
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                // Also calibrates the batch size to ≥ ~1ms per batch.
+                let mut iters = 0u64;
+                let start = Instant::now();
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                    iters += 1;
+                }
+                let elapsed = start.elapsed().max(Duration::from_nanos(1));
+                let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+                self.iters_per_batch = ((1_000_000 / per_iter.max(1)) as u64).clamp(1, 1 << 20);
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_batch {
+                    std::hint::black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, cfg: MeasureConfig, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_batch: 1,
+        mode: Mode::WarmUp {
+            until: Instant::now() + cfg.warm_up_time,
+        },
+    };
+    f(&mut b);
+
+    b.mode = Mode::Measure;
+    let deadline = Instant::now() + cfg.measurement_time;
+    while b.samples.len() < cfg.sample_size || Instant::now() < deadline {
+        f(&mut b);
+        // Hard cap so pathological fast benches don't loop forever.
+        if b.samples.len() >= 10_000 {
+            break;
+        }
+    }
+
+    let iters = b.iters_per_batch.max(1);
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / iters as f64;
+    let mean = b.samples.iter().map(per_iter).sum::<f64>() / b.samples.len().max(1) as f64;
+    let best = b.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+    let worst = b.samples.iter().map(per_iter).fold(0.0, f64::max);
+    println!(
+        "{name}: mean {} (best {}, worst {}, {} samples × {iters} iters)",
+        fmt_ns(mean),
+        fmt_ns(best),
+        fmt_ns(worst),
+        b.samples.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Exposed for API compatibility; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group. Supports both the
+/// positional form (`criterion_group!(benches, f, g)`) and the configured
+/// form (`criterion_group! { name = benches; config = ...; targets = f, g }`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(10));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -58,12 +58,12 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Tensor {
     let mut data = vec![0.0f32; n * t_len];
     for e in 0..n {
         let g = e % groups;
-        let phase: f32 = rng.gen_range(-0.5..0.5) * profile.phase_jitter;
+        let phase: f32 = rng.gen_range(-0.5f32..0.5) * profile.phase_jitter;
         let amplitude: f32 = rng.gen_range(0.6..1.4);
         let trend_freq: f32 = rng.gen_range(0.5..1.5);
         let trend_amp: f32 = rng.gen_range(0.0..profile.trend_amp);
-        let drift: f32 = rng.gen_range(-1.0..1.0) * profile.drift;
-        let noise_std: f32 = profile.noise_std * rng.gen_range(0.7..1.3);
+        let drift: f32 = rng.gen_range(-1.0f32..1.0) * profile.drift;
+        let noise_std: f32 = profile.noise_std * rng.gen_range(0.7f32..1.3);
 
         let mut ar = 0.0f32;
         let row = &mut data[e * t_len..(e + 1) * t_len];

@@ -10,8 +10,10 @@
 //!    identities (associativity with transposes, softmax normalisation,
 //!    Pearson bounds) are covered by property-based tests.
 //! 2. **Predictable performance** — kernels avoid per-element allocation,
-//!    matmul uses an `i-k-j` loop order so the innermost loop streams both
-//!    output and right-hand rows, and all shapes are validated once up front.
+//!    matmul is cache-blocked and register-tiled with a serial `i-k-j`
+//!    reference kept as ground truth, large ops run on a scoped thread pool
+//!    ([`par`]) with bitwise-identical results at any thread count, and all
+//!    shapes are validated once up front.
 //! 3. **Small surface** — only the operations the forecaster needs. This is
 //!    not a general array library.
 //!
@@ -36,7 +38,10 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub mod par;
 pub mod stats;
+
+pub use matmul::reference;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

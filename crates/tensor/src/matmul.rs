@@ -1,65 +1,477 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication kernels: serial reference + cache-blocked,
+//! register-tiled, multithreaded implementations.
 //!
-//! All kernels use the `i-k-j` loop order: the innermost loop walks a row of
-//! the right operand and a row of the output contiguously, which vectorises
-//! well and avoids strided reads. Transposed variants (`matmul_nt`,
-//! `matmul_tn`) are provided so callers never have to materialise a transpose
-//! on the hot path (the autograd backward passes need both).
+//! All kernels share one arithmetic contract: every output element is an
+//! `f32` accumulation chain over `k` in **ascending order**, starting from
+//! zero. The tiled and parallel paths block loops for cache reuse and split
+//! *output rows* across threads, but never reorder, split, or widen an
+//! element's accumulation chain — so their results are **bitwise identical**
+//! to the serial reference for any tile size and any thread count (see
+//! `tests/properties.rs`).
+//!
+//! `gemm` and `gemm_tn` skip `a_ik == 0.0` terms. This is not just a
+//! micro-optimisation: ProtoAttn routes per-segment head outputs through
+//! one-hot assignment matrices (`A · head`), and the skip turns those
+//! products from `O(l·k·d)` into `O(l·d)`. The skip is part of the
+//! arithmetic contract (skipping a `+ 0.0 * b` term is *not* a bitwise
+//! no-op: it changes `-0.0` and non-finite propagation), so the tiled
+//! kernels implement it per `(row, k)` exactly like the reference.
+//! `gemm_nt` computes plain dot products and has no skip, matching its
+//! reference.
+//!
+//! The serial references live in [`reference`] and stay the ground truth the
+//! property tests compare against.
 
+use crate::par;
 use crate::Tensor;
 
-/// `out[i, :] += a_ik * b[k, :]` — the shared inner kernel.
-#[inline]
-fn saxpy_row(out: &mut [f32], a_ik: f32, b_row: &[f32]) {
-    for (o, &b) in out.iter_mut().zip(b_row) {
-        *o += a_ik * b;
-    }
-}
+/// Register tile width (output columns per micro-tile).
+const NR: usize = 16;
+/// Register tile height (output rows per micro-tile).
+const MR: usize = 4;
+/// k-block depth: bounds the live panel to ~`KC × NR` floats (L1-resident).
+const KC: usize = 256;
 
-/// Raw GEMM: `c[m×n] = a[m×k] · b[k×n]`, all row-major slices.
-fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for kk in 0..k {
-            let a_ik = a[i * k + kk];
-            if a_ik != 0.0 {
-                saxpy_row(c_row, a_ik, &b[kk * n..(kk + 1) * n]);
-            }
+/// Below this many multiply–accumulates (`m·k·n`) the naive reference runs —
+/// tiling set-up costs more than it saves.
+const TILE_MIN_MACS: usize = 16 * 16 * 16;
+/// Below this many multiply–accumulates the kernel stays single-threaded.
+const PAR_MIN_MACS: usize = 64 * 64 * 64;
+/// Minimum multiply–accumulates each worker thread should receive.
+const PAR_GRAIN_MACS: usize = 32 * 64 * 64;
+
+pub mod reference {
+    //! Naive serial kernels: the arithmetic ground truth.
+    //!
+    //! `i-k-j` loop order — the innermost loop walks a row of the right
+    //! operand and a row of the output contiguously. Exposed publicly so
+    //! property tests (and benchmarks) can compare the optimised paths
+    //! against them on arbitrary shapes.
+
+    /// `out[i, :] += a_ik * b[k, :]` — the shared inner kernel.
+    #[inline]
+    fn saxpy_row(out: &mut [f32], a_ik: f32, b_row: &[f32]) {
+        for (o, &b) in out.iter_mut().zip(b_row) {
+            *o += a_ik * b;
         }
     }
-}
 
-/// `c[m×n] = a[m×k] · bᵀ` where `b` is `[n×k]` row-major.
-fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            c[i * n + j] = acc;
-        }
-    }
-}
-
-/// `c[m×n] = aᵀ · b` where `a` is `[k×m]` row-major and `b` is `[k×n]`.
-fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    for kk in 0..k {
-        let b_row = &b[kk * n..(kk + 1) * n];
+    /// Raw GEMM: `c[m×n] = a[m×k] · b[k×n]`, all row-major slices.
+    ///
+    /// Skips `a_ik == 0.0` terms (one-hot fast path; see module docs).
+    pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
         for i in 0..m {
-            let a_ki = a[kk * m + i];
-            if a_ki != 0.0 {
-                saxpy_row(&mut c[i * n..(i + 1) * n], a_ki, b_row);
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let a_ik = a[i * k + kk];
+                if a_ik != 0.0 {
+                    saxpy_row(c_row, a_ik, &b[kk * n..(kk + 1) * n]);
+                }
             }
+        }
+    }
+
+    /// `c[m×n] = a[m×k] · bᵀ` where `b` is `[n×k]` row-major.
+    pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// `c[m×n] = aᵀ · b` where `a` is `[k×m]` row-major and `b` is `[k×n]`.
+    ///
+    /// Skips `a_ki == 0.0` terms, like [`gemm`].
+    pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let a_ki = a[kk * m + i];
+                if a_ki != 0.0 {
+                    saxpy_row(&mut c[i * n..(i + 1) * n], a_ki, b_row);
+                }
+            }
+        }
+    }
+}
+
+/// The register micro-kernel: accumulates an `mr × NR` output tile over one
+/// k-block, keeping the tile in registers for the whole block.
+///
+/// * `a[a_off + r * a_stride + kk]` is the `(row r, step kk)` left operand;
+/// * `b[b_off + kk * b_stride ..][..NR]` is the step-`kk` right-operand row;
+/// * `c[c_off + r * c_stride ..][..NR]` is loaded, accumulated and stored —
+///   carrying the chain across k-blocks without reordering it.
+///
+/// With `SKIP`, `a == 0.0` terms are skipped per `(row, k)` exactly like the
+/// serial references. The dense case (all `mr` left-operand values nonzero at
+/// a given `k`, i.e. every step of a non-one-hot product) takes a branch-free
+/// unrolled path; both paths run the identical per-row accumulation, so the
+/// guard affects speed only, never bits.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile<const SKIP: bool>(
+    mr: usize,
+    kc: usize,
+    a: &[f32],
+    a_off: usize,
+    a_stride: usize,
+    b: &[f32],
+    b_off: usize,
+    b_stride: usize,
+    c: &mut [f32],
+    c_off: usize,
+    c_stride: usize,
+) {
+    debug_assert!(mr <= MR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
+        let base = c_off + r * c_stride;
+        acc_r.copy_from_slice(&c[base..base + NR]);
+    }
+    // Decide skip-vs-dense once per tile, not once per k step: a branch in
+    // the innermost loop forces the accumulator tile out of registers. When
+    // the left-operand sub-panel has no zeros the skip loop and the dense
+    // loop execute the identical arithmetic, so routing dense tiles through
+    // the branch-free loop changes speed only, never bits.
+    let sparse = SKIP
+        && (0..mr).any(|r| a[a_off + r * a_stride..a_off + r * a_stride + kc].contains(&0.0));
+    if sparse {
+        for kk in 0..kc {
+            let base = b_off + kk * b_stride;
+            let b_row: &[f32; NR] = (&b[base..base + NR]).try_into().unwrap();
+            for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
+                let av = a[a_off + r * a_stride + kk];
+                if av != 0.0 {
+                    for (o, &bv) in acc_r.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    } else {
+        for kk in 0..kc {
+            let base = b_off + kk * b_stride;
+            let b_row: &[f32; NR] = (&b[base..base + NR]).try_into().unwrap();
+            for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
+                let av = a[a_off + r * a_stride + kk];
+                for (o, &bv) in acc_r.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate().take(mr) {
+        let base = c_off + r * c_stride;
+        c[base..base + NR].copy_from_slice(acc_r);
+    }
+}
+
+/// Cache-blocked GEMM over the output row block `i0..i1`:
+/// `c_block[(i-i0)×n] += a[i×k] · b[k×n]` for `i` in `i0..i1`.
+///
+/// `c_block` holds exactly rows `i0..i1` (the caller splits disjoint blocks
+/// across threads).
+fn gemm_block(i0: usize, i1: usize, k: usize, n: usize, a: &[f32], b: &[f32], c_block: &mut [f32]) {
+    debug_assert_eq!(c_block.len(), (i1 - i0) * n);
+    let n_full = n - n % NR;
+    let mut panel = [0.0f32; KC * NR];
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let mut j0 = 0;
+        while j0 < n_full {
+            // panel[kk] = b[k0 + kk][j0..j0 + NR] — packed once per k-block,
+            // reused by every row tile of this output block.
+            for (kk, dst) in panel.chunks_exact_mut(NR).take(kc).enumerate() {
+                dst.copy_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + NR]);
+            }
+            let mut i = i0;
+            while i < i1 {
+                let mr = MR.min(i1 - i);
+                micro_tile::<true>(
+                    mr,
+                    kc,
+                    a,
+                    i * k + k0,
+                    k,
+                    &panel,
+                    0,
+                    NR,
+                    c_block,
+                    (i - i0) * n + j0,
+                    n,
+                );
+                i += mr;
+            }
+            j0 += NR;
+        }
+        // Column remainder: scalar saxpy, same ascending-k chain and skip.
+        if n_full < n {
+            for i in i0..i1 {
+                let row_base = (i - i0) * n;
+                for kk in k0..k0 + kc {
+                    let a_ik = a[i * k + kk];
+                    if a_ik != 0.0 {
+                        let b_row = &b[kk * n + n_full..kk * n + n];
+                        let c_row = &mut c_block[row_base + n_full..row_base + n];
+                        for (o, &bv) in c_row.iter_mut().zip(b_row) {
+                            *o += a_ik * bv;
+                        }
+                    }
+                }
+            }
+        }
+        k0 += KC;
+    }
+}
+
+/// Cache-blocked `a · bᵀ` over the output row block `i0..i1`.
+///
+/// Packs each `KC × NR` panel of `bᵀ` once per k-block so the micro-kernel
+/// streams it contiguously; every output element keeps the serial dot
+/// product's ascending-k chain (no zero-skip, matching the reference).
+fn gemm_nt_block(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_block: &mut [f32],
+) {
+    debug_assert_eq!(c_block.len(), (i1 - i0) * n);
+    let n_full = n - n % NR;
+    let mut panel = [0.0f32; KC * NR];
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let mut j0 = 0;
+        while j0 < n_full {
+            // panel[kk][r] = b[(j0 + r) * k + (k0 + kk)]  (transposed gather).
+            for kk in 0..kc {
+                let dst = &mut panel[kk * NR..kk * NR + NR];
+                for (r, d) in dst.iter_mut().enumerate() {
+                    *d = b[(j0 + r) * k + k0 + kk];
+                }
+            }
+            let mut i = i0;
+            while i < i1 {
+                let mr = MR.min(i1 - i);
+                micro_tile::<false>(
+                    mr,
+                    kc,
+                    a,
+                    i * k + k0,
+                    k,
+                    &panel,
+                    0,
+                    NR,
+                    c_block,
+                    (i - i0) * n + j0,
+                    n,
+                );
+                i += mr;
+            }
+            j0 += NR;
+        }
+        // Column remainder: plain dots carried through c across k-blocks.
+        for j in n_full..n {
+            for i in i0..i1 {
+                let mut acc = c_block[(i - i0) * n + j];
+                let a_row = &a[i * k + k0..i * k + k0 + kc];
+                let b_row = &b[j * k + k0..j * k + k0 + kc];
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                c_block[(i - i0) * n + j] = acc;
+            }
+        }
+        k0 += KC;
+    }
+}
+
+/// Cache-blocked `aᵀ · b` over the output row block `i0..i1` (`a` is
+/// `[k × m]` row-major).
+///
+/// Packs each `mr × KC` panel of `aᵀ` once per (row-block, k-block) so the
+/// micro-kernel reads it with stride 1; keeps the reference's zero-skip and
+/// ascending-k chain.
+fn gemm_tn_block(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_block: &mut [f32],
+) {
+    debug_assert_eq!(c_block.len(), (i1 - i0) * n);
+    let n_full = n - n % NR;
+    let mut a_panel = [0.0f32; MR * KC];
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let mut i = i0;
+        while i < i1 {
+            let mr = MR.min(i1 - i);
+            // a_panel[r][kk] = a[(k0 + kk) * m-stride + (i + r)]; the row-major
+            // stride of `a` is m, the total column count of aᵀ's source.
+            let m_stride = a.len() / k;
+            for r in 0..mr {
+                let dst = &mut a_panel[r * kc..(r + 1) * kc];
+                for (kk, d) in dst.iter_mut().enumerate() {
+                    *d = a[(k0 + kk) * m_stride + i + r];
+                }
+            }
+            let mut j0 = 0;
+            while j0 < n_full {
+                micro_tile::<true>(
+                    mr,
+                    kc,
+                    &a_panel,
+                    0,
+                    kc,
+                    b,
+                    k0 * n + j0,
+                    n,
+                    c_block,
+                    (i - i0) * n + j0,
+                    n,
+                );
+                j0 += NR;
+            }
+            // Column remainder: scalar saxpy per (row, k), ascending k + skip.
+            if n_full < n {
+                for r in 0..mr {
+                    let row_base = (i - i0 + r) * n;
+                    for kk in 0..kc {
+                        let a_ki = a_panel[r * kc + kk];
+                        if a_ki != 0.0 {
+                            let b_row = &b[(k0 + kk) * n + n_full..(k0 + kk) * n + n];
+                            let c_row = &mut c_block[row_base + n_full..row_base + n];
+                            for (o, &bv) in c_row.iter_mut().zip(b_row) {
+                                *o += a_ki * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            i += mr;
+        }
+        k0 += KC;
+    }
+}
+
+/// Which optimised block kernel to run per output row block.
+#[derive(Clone, Copy)]
+enum Kind {
+    /// `a[m×k] · b[k×n]`.
+    Nn,
+    /// `a[m×k] · (b[n×k])ᵀ`.
+    Nt,
+    /// `(a[k×m])ᵀ · b[k×n]`.
+    Tn,
+}
+
+/// Dispatches one raw GEMM: reference for small shapes, tiled for medium,
+/// tiled + row-parallel for large. Bitwise-identical across all three paths.
+fn gemm_dispatch(kind: Kind, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let macs = m * k * n;
+    if macs < TILE_MIN_MACS || k == 0 || n == 0 || m == 0 {
+        match kind {
+            Kind::Nn => reference::gemm(m, k, n, a, b, c),
+            Kind::Nt => reference::gemm_nt(m, k, n, a, b, c),
+            Kind::Tn => reference::gemm_tn(m, k, n, a, b, c),
+        }
+        return;
+    }
+    let block = |i0: usize, i1: usize, c_block: &mut [f32]| match kind {
+        Kind::Nn => gemm_block(i0, i1, k, n, a, b, c_block),
+        Kind::Nt => gemm_nt_block(i0, i1, k, n, a, b, c_block),
+        Kind::Tn => gemm_tn_block(i0, i1, k, n, a, b, c_block),
+    };
+    if macs < PAR_MIN_MACS {
+        block(0, m, c);
+        return;
+    }
+    let grain_rows = PAR_GRAIN_MACS.div_ceil(k * n).max(MR);
+    par::parallel_rows(c, n, grain_rows, MR, |row0, c_block| {
+        block(row0, row0 + c_block.len() / n, c_block);
+    });
+}
+
+/// Dispatches a batch of `bt` independent GEMMs sharing one output buffer.
+///
+/// Many small batches parallelise across the batch axis; few large batches
+/// parallelise inside each GEMM instead.
+#[allow(clippy::too_many_arguments)]
+fn bmm_dispatch(
+    kind: Kind,
+    bt: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let a_sz = m * k; // == k * m for Tn: same element count either way
+    let b_sz = match kind {
+        Kind::Nn | Kind::Tn => k * n,
+        Kind::Nt => n * k,
+    };
+    let per_batch_macs = m * k * n;
+    let total_macs = bt * per_batch_macs;
+    let batch_grain = PAR_GRAIN_MACS.div_ceil(per_batch_macs.max(1)).max(1);
+    if total_macs >= PAR_MIN_MACS && bt >= 2 * batch_grain {
+        // Batch-parallel: each worker runs whole serial GEMMs on its slice.
+        par::parallel_rows(c, m * n, batch_grain, 1, |b0, c_chunk| {
+            for (idx, c_one) in c_chunk.chunks_mut(m * n).enumerate() {
+                let bi = b0 + idx;
+                let a_one = &a[bi * a_sz..(bi + 1) * a_sz];
+                let b_one = &b[bi * b_sz..(bi + 1) * b_sz];
+                if per_batch_macs < TILE_MIN_MACS {
+                    match kind {
+                        Kind::Nn => reference::gemm(m, k, n, a_one, b_one, c_one),
+                        Kind::Nt => reference::gemm_nt(m, k, n, a_one, b_one, c_one),
+                        Kind::Tn => reference::gemm_tn(m, k, n, a_one, b_one, c_one),
+                    }
+                } else {
+                    match kind {
+                        Kind::Nn => gemm_block(0, m, k, n, a_one, b_one, c_one),
+                        Kind::Nt => gemm_nt_block(0, m, k, n, a_one, b_one, c_one),
+                        Kind::Tn => gemm_tn_block(0, m, k, n, a_one, b_one, c_one),
+                    }
+                }
+            }
+        });
+    } else {
+        // Few/large batches: let each GEMM parallelise internally.
+        for bi in 0..bt {
+            gemm_dispatch(
+                kind,
+                m,
+                k,
+                n,
+                &a[bi * a_sz..(bi + 1) * a_sz],
+                &b[bi * b_sz..(bi + 1) * b_sz],
+                &mut c[bi * m * n..(bi + 1) * m * n],
+            );
         }
     }
 }
@@ -76,7 +488,7 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[m, n]);
-        gemm(m, k, n, self.data(), other.data(), out.data_mut());
+        gemm_dispatch(Kind::Nn, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 
@@ -89,7 +501,7 @@ impl Tensor {
         let (n, k2) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[m, n]);
-        gemm_nt(m, k, n, self.data(), other.data(), out.data_mut());
+        gemm_dispatch(Kind::Nt, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 
@@ -102,7 +514,7 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[m, n]);
-        gemm_tn(m, k, n, self.data(), other.data(), out.data_mut());
+        gemm_dispatch(Kind::Tn, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 
@@ -115,16 +527,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch dims: {} vs {}", self.shape(), other.shape());
         assert_eq!(k, k2, "bmm inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            gemm(
-                m,
-                k,
-                n,
-                &self.data()[bi * m * k..(bi + 1) * m * k],
-                &other.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
-            );
-        }
+        bmm_dispatch(Kind::Nn, b, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 
@@ -137,16 +540,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_nt batch dims: {} vs {}", self.shape(), other.shape());
         assert_eq!(k, k2, "bmm_nt inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            gemm_nt(
-                m,
-                k,
-                n,
-                &self.data()[bi * m * k..(bi + 1) * m * k],
-                &other.data()[bi * n * k..(bi + 1) * n * k],
-                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
-            );
-        }
+        bmm_dispatch(Kind::Nt, b, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 
@@ -159,16 +553,7 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_tn batch dims: {} vs {}", self.shape(), other.shape());
         assert_eq!(k, k2, "bmm_tn inner dims: {} vs {}", self.shape(), other.shape());
         let mut out = Tensor::zeros(&[b, m, n]);
-        for bi in 0..b {
-            gemm_tn(
-                m,
-                k,
-                n,
-                &self.data()[bi * k * m..(bi + 1) * k * m],
-                &other.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out.data_mut()[bi * m * n..(bi + 1) * m * n],
-            );
-        }
+        bmm_dispatch(Kind::Tn, b, m, k, n, self.data(), other.data(), out.data_mut());
         out
     }
 }
@@ -258,5 +643,62 @@ mod tests {
         let left = a.scale(2.0).matmul(&b);
         let right = a.matmul(&b).scale(2.0);
         assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    /// Exhaustive bitwise agreement of the tiled paths with the serial
+    /// reference on shapes straddling every tile boundary.
+    #[test]
+    fn tiled_paths_bitwise_match_reference_across_tile_edges() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 16, 16),
+            (5, 17, 15),
+            (16, 16, 16),
+            (17, 300, 33),
+            (33, 64, 31),
+            (64, 64, 64),
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut c_ref = Tensor::zeros(&[m, n]);
+            super::reference::gemm(m, k, n, a.data(), b.data(), c_ref.data_mut());
+            assert_eq!(a.matmul(&b).data(), c_ref.data(), "gemm {m}x{k}x{n}");
+
+            let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+            let mut c_ref = Tensor::zeros(&[m, n]);
+            super::reference::gemm_nt(m, k, n, a.data(), bt.data(), c_ref.data_mut());
+            assert_eq!(a.matmul_nt(&bt).data(), c_ref.data(), "gemm_nt {m}x{k}x{n}");
+
+            let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+            let b2 = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut c_ref = Tensor::zeros(&[m, n]);
+            super::reference::gemm_tn(m, k, n, at.data(), b2.data(), c_ref.data_mut());
+            assert_eq!(at.matmul_tn(&b2).data(), c_ref.data(), "gemm_tn {m}x{k}x{n}");
+        }
+    }
+
+    /// The one-hot fast path: a sparse assignment matrix must produce exactly
+    /// the same bits as a dense product, on both the reference and the tiled
+    /// kernel (regression guard for the `a_ik != 0.0` skip).
+    #[test]
+    fn one_hot_routing_matches_dense_product_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (l, k, d) = (96usize, 24usize, 40usize);
+        // One-hot [l, k]: row i selects prototype i % k.
+        let mut a = Tensor::zeros(&[l, k]);
+        for i in 0..l {
+            a.data_mut()[i * k + i % k] = 1.0;
+        }
+        let heads = Tensor::randn(&[k, d], 1.0, &mut rng);
+        let routed = a.matmul(&heads);
+        // Row i of the result must be bitwise row (i % k) of `heads`:
+        // 0.0 + 1.0 * h — exact in IEEE 754.
+        for i in 0..l {
+            assert_eq!(routed.row(i), heads.row(i % k), "row {i}");
+        }
+        let mut c_ref = Tensor::zeros(&[l, d]);
+        super::reference::gemm(l, k, d, a.data(), heads.data(), c_ref.data_mut());
+        assert_eq!(routed.data(), c_ref.data());
     }
 }

@@ -1,23 +1,37 @@
 //! Elementwise operations, broadcasting helpers, softmax, transposes and
 //! concatenation.
+//!
+//! Large elementwise maps, broadcasts and row-softmaxes run on the scoped
+//! thread pool ([`crate::par`]); every output element depends only on its own
+//! input position (or its own row), so the parallel split is bitwise-identical
+//! to serial at any thread count.
 
-use crate::{Shape, Tensor};
+use crate::{par, Shape, Tensor};
+
+/// Minimum elements per thread for cheap elementwise ops (add/mul/map):
+/// below ~2 grains the spawn overhead exceeds the arithmetic.
+const ELEM_GRAIN: usize = 16 * 1024;
+/// Minimum elements per thread for transcendental row ops (softmax's `exp`
+/// is ~10× the cost of an add, so it pays off earlier).
+const EXP_GRAIN: usize = 2 * 1024;
 
 impl Tensor {
     /// Elementwise binary operation on same-shape tensors.
-    fn zip_with(&self, other: &Tensor, op: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn zip_with(&self, other: &Tensor, op: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert!(
             self.shape().same_as(other.shape()),
             "elementwise op shape mismatch: {} vs {}",
             self.shape(),
             other.shape()
         );
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| op(a, b))
-            .collect();
+        let mut data = vec![0.0f32; self.numel()];
+        par::parallel_fill(&mut data, ELEM_GRAIN, |range, chunk| {
+            let a = &self.data()[range.clone()];
+            let b = &other.data()[range];
+            for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                *o = op(x, y);
+            }
+        });
         Tensor::from_vec(data, self.dims())
     }
 
@@ -52,8 +66,13 @@ impl Tensor {
     }
 
     /// Applies `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&v| f(v)).collect();
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.numel()];
+        par::parallel_fill(&mut data, ELEM_GRAIN, |range, chunk| {
+            for (o, &v) in chunk.iter_mut().zip(&self.data()[range]) {
+                *o = f(v);
+            }
+        });
         Tensor::from_vec(data, self.dims())
     }
 
@@ -82,11 +101,14 @@ impl Tensor {
             row.numel()
         );
         let mut out = self.clone();
-        for chunk in out.data_mut().chunks_mut(n) {
-            for (o, &b) in chunk.iter_mut().zip(row.data()) {
-                *o += b;
+        let grain_rows = ELEM_GRAIN.div_ceil(n).max(1);
+        par::parallel_rows(out.data_mut(), n, grain_rows, 1, |_, block| {
+            for chunk in block.chunks_mut(n) {
+                for (o, &b) in chunk.iter_mut().zip(row.data()) {
+                    *o += b;
+                }
             }
-        }
+        });
         out
     }
 
@@ -133,18 +155,21 @@ impl Tensor {
         let n = self.shape().last_dim();
         assert!(n > 0, "softmax over an empty trailing axis");
         let mut out = self.clone();
-        for chunk in out.data_mut().chunks_mut(n) {
-            let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in chunk.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
+        let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
+        par::parallel_rows(out.data_mut(), n, grain_rows, 1, |_, block| {
+            for chunk in block.chunks_mut(n) {
+                let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for v in chunk.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                let inv = 1.0 / sum;
+                for v in chunk.iter_mut() {
+                    *v *= inv;
+                }
             }
-            let inv = 1.0 / sum;
-            for v in chunk.iter_mut() {
-                *v *= inv;
-            }
-        }
+        });
         out
     }
 

@@ -1,0 +1,247 @@
+//! Scoped-thread parallel execution layer.
+//!
+//! Every hot kernel in the workspace (GEMM, elementwise maps, row-wise
+//! reductions, nearest-prototype assignment) funnels through the two
+//! partitioners here. The design constraints, in order:
+//!
+//! 1. **Bitwise determinism** — work is split into *disjoint, contiguous*
+//!    output ranges and every output element is produced by exactly the same
+//!    sequence of floating-point operations as the serial reference, so
+//!    results are identical for any thread count (property-tested in
+//!    `tests/properties.rs`).
+//! 2. **Zero runtime dependencies** — plain [`std::thread::scope`]; threads
+//!    are spawned per call and joined before returning, so no closure needs
+//!    `'static` and panics propagate to the caller.
+//! 3. **No small-op regressions** — callers pass a *grain* (minimum items per
+//!    thread); when the work does not cover two grains the closure runs
+//!    inline on the calling thread with no spawn at all.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`], can
+//! be pinned with the `FOCUS_THREADS` environment variable, and can be
+//! changed at runtime with [`set_threads`] (used by the kernel benchmarks to
+//! sweep 1/2/4/N threads in one process).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override set by [`set_threads`]; `0` means "use the default".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved default: `FOCUS_THREADS` env var, else available
+/// parallelism, else 1.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::env::var("FOCUS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads kernels may use right now.
+///
+/// Resolution order: [`set_threads`] override, then `FOCUS_THREADS`, then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn max_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker count process-wide; `0` restores the default.
+///
+/// Results are bitwise-identical for every setting — this knob only trades
+/// wall-clock for core usage. Mainly for benchmarks and tests.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// How many threads to use for `len` items at `grain` items per thread
+/// minimum.
+fn plan_threads(len: usize, grain: usize) -> usize {
+    let by_grain = len / grain.max(1);
+    max_threads().min(by_grain).max(1)
+}
+
+/// Runs `f` over disjoint contiguous subranges of `0..len`, in parallel when
+/// `len` spans at least two grains and more than one worker is available.
+///
+/// `f` receives each subrange exactly once; subranges cover `0..len` without
+/// overlap. `f(0..len)` runs inline (no spawn) in the serial case, so this
+/// is safe to call at any depth.
+pub fn parallel_for<F>(len: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = plan_threads(len, grain);
+    if threads <= 1 {
+        if len > 0 {
+            f(0..len);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for t in 1..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start < end {
+                s.spawn(move || f(start..end));
+            }
+        }
+        f(0..chunk.min(len));
+    });
+}
+
+/// Splits `out` (viewed as rows of `row_len` elements) into disjoint
+/// per-thread row blocks and runs `f(first_row, block)` on each, in parallel
+/// when the row count spans at least two grains.
+///
+/// Block boundaries are aligned down to multiples of `align` rows (the last
+/// block absorbs the remainder), so register-tiled kernels never straddle a
+/// thread boundary mid-tile.
+///
+/// # Panics
+/// If `out.len()` is not a multiple of `row_len`.
+pub fn parallel_rows<T, F>(out: &mut [T], row_len: usize, grain_rows: usize, align: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(out.len() % row_len, 0, "output not a whole number of rows");
+    let rows = out.len() / row_len;
+    let threads = plan_threads(rows, grain_rows);
+    if threads <= 1 {
+        if rows > 0 {
+            f(0, out);
+        }
+        return;
+    }
+    let align = align.max(1);
+    // Rows per thread, rounded up to the alignment.
+    let per = rows.div_ceil(threads).div_ceil(align) * align;
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut row0 = 0usize;
+        // Peel off full blocks for the spawned workers, keep the first block
+        // for the calling thread.
+        let mut head_block = None;
+        let mut blocks = Vec::with_capacity(threads);
+        while row0 < rows {
+            let take = per.min(rows - row0);
+            let (head, tail) = rest.split_at_mut(take * row_len);
+            if row0 == 0 {
+                head_block = Some(head);
+            } else {
+                blocks.push((row0, head));
+            }
+            rest = tail;
+            row0 += take;
+        }
+        for (r0, block) in blocks {
+            s.spawn(move || f(r0, block));
+        }
+        if let Some(block) = head_block {
+            f(0, block);
+        }
+    });
+}
+
+/// Fills `out` by mapping `f` over per-thread subranges: `f(range, chunk)`
+/// writes `chunk` (which aliases `out[range]`). Convenience wrapper over
+/// [`parallel_rows`] for flat elementwise producers.
+pub fn parallel_fill<T, F>(out: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    parallel_rows(out, 1, grain, 1, |start, chunk| {
+        let end = start + chunk.len();
+        f(start..end, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(1000, 10, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_handles_empty_and_tiny() {
+        parallel_for(0, 1, |_| panic!("must not run on empty input"));
+        let ran = AtomicUsize::new(0);
+        parallel_for(1, 1000, |r| {
+            assert_eq!(r, 0..1);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_rows_partitions_disjointly() {
+        let mut out = vec![0u32; 7 * 13];
+        parallel_rows(&mut out, 13, 1, 2, |row0, block| {
+            for (r, row) in block.chunks_mut(13).enumerate() {
+                for v in row {
+                    *v = (row0 + r) as u32 + 1;
+                }
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i / 13) as u32 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_rows_respects_alignment() {
+        // With align = 4, every block except possibly the last must start at
+        // a multiple of 4.
+        let mut out = vec![0u8; 23 * 3];
+        parallel_rows(&mut out, 3, 1, 4, |row0, _| {
+            assert_eq!(row0 % 4, 0, "block start {row0} not aligned");
+        });
+    }
+
+    #[test]
+    fn set_threads_round_trips() {
+        let before = max_threads();
+        set_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_threads(0);
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn parallel_fill_writes_disjoint_chunks() {
+        let mut out = vec![0usize; 4096];
+        parallel_fill(&mut out, 64, |range, chunk| {
+            for (i, v) in range.zip(chunk.iter_mut()) {
+                *v = i * 2;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+}

@@ -1,7 +1,16 @@
 //! Reductions: sums, means, variances, min/max, along the whole tensor or the
 //! trailing axis.
+//!
+//! Row-wise reductions ([`Tensor::sum_last`], [`Tensor::row_mean_std`])
+//! parallelise over rows — each output is a function of one input row, so the
+//! split is bitwise-identical to serial. Whole-tensor reductions
+//! (`sum_all`, `var_all`) stay serial on purpose: splitting a single
+//! accumulation chain would change summation order and therefore bits.
 
-use crate::Tensor;
+use crate::{par, Tensor};
+
+/// Minimum input elements per thread for row-wise reductions.
+const ROW_GRAIN: usize = 16 * 1024;
 
 impl Tensor {
     /// Sum of all elements (accumulated in `f64` for stability).
@@ -48,10 +57,13 @@ impl Tensor {
         let n = self.shape().last_dim();
         assert!(n > 0, "sum over an empty trailing axis");
         let rows = self.shape().leading();
-        let mut data = Vec::with_capacity(rows);
-        for i in 0..rows {
-            data.push(self.data()[i * n..(i + 1) * n].iter().sum());
-        }
+        let mut data = vec![0.0f32; rows];
+        let grain_rows = ROW_GRAIN.div_ceil(n).max(1);
+        par::parallel_fill(&mut data, grain_rows, |range, chunk| {
+            for (i, o) in range.zip(chunk.iter_mut()) {
+                *o = self.data()[i * n..(i + 1) * n].iter().sum();
+            }
+        });
         let dims: Vec<usize> = self.dims()[..self.rank() - 1].to_vec();
         Tensor::from_vec(data, &dims)
     }
@@ -68,13 +80,16 @@ impl Tensor {
     pub fn row_mean_std(&self) -> Vec<(f32, f32)> {
         let n = self.shape().last_dim();
         let rows = self.shape().leading();
-        let mut out = Vec::with_capacity(rows);
-        for i in 0..rows {
-            let row = &self.data()[i * n..(i + 1) * n];
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            out.push((mean, var.max(0.0).sqrt()));
-        }
+        let mut out = vec![(0.0f32, 0.0f32); rows];
+        let grain_rows = ROW_GRAIN.div_ceil(n).max(1);
+        par::parallel_fill(&mut out, grain_rows, |range, chunk| {
+            for (i, o) in range.zip(chunk.iter_mut()) {
+                let row = &self.data()[i * n..(i + 1) * n];
+                let mean = row.iter().sum::<f32>() / n as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                *o = (mean, var.max(0.0).sqrt());
+            }
+        });
         out
     }
 

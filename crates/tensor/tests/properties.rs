@@ -1,8 +1,11 @@
 //! Property-based tests for the tensor kernels: the algebraic identities that
-//! must hold for arbitrary (finite, bounded) inputs.
+//! must hold for arbitrary (finite, bounded) inputs, and the bitwise parity
+//! of the tiled/parallel kernels with their serial references.
 
-use focus_tensor::{stats, Tensor};
+use focus_tensor::{par, reference, stats, Tensor};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Strategy: a matrix of the given dims with bounded finite entries.
 fn matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
@@ -107,5 +110,133 @@ proptest! {
     fn reshape_preserves_sum(a in matrix(3, 8)) {
         let r = a.reshape(&[2, 3, 4]);
         prop_assert!((r.sum_all() - a.sum_all()).abs() < 1e-3);
+    }
+}
+
+/// Serialises tests that flip the process-global [`par::set_threads`]
+/// override, so one test's thread sweep can't disturb another's baseline.
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_threads() -> std::sync::MutexGuard<'static, ()> {
+    THREAD_OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Builds `[m, k]` test data whose entries include exact zeros (so the
+/// `a != 0.0` skip paths are exercised) alongside arbitrary finite values.
+fn gemm_operand(dims: &[usize], rng: &mut StdRng) -> Tensor {
+    use rand::Rng;
+    let n: usize = dims.iter().product();
+    let data = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.25) {
+                0.0
+            } else {
+                rng.gen_range(-4.0f32..4.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+// Bitwise parity of the tiled + parallel matmul family with the serial
+// reference. Shapes deliberately straddle the dispatch thresholds: empty and
+// single-row cases stay on the reference, mid sizes hit the tiled serial
+// path, and the largest (with `k` above one KC block and dims off every
+// MR/NR multiple) hit the tiled + multithreaded path. For each shape the
+// product is recomputed under 1, 2 and 4 worker threads and must be
+// bit-for-bit equal every time.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_family_bitwise_matches_reference(
+        seed in 0u64..1u64 << 48,
+        m in 0usize..70,
+        k in 0usize..300,
+        n in 0usize..70,
+    ) {
+        let _guard = lock_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gemm_operand(&[m, k], &mut rng);
+        let b = gemm_operand(&[k, n], &mut rng);
+        let bt = gemm_operand(&[n, k], &mut rng);
+        let at = gemm_operand(&[k, m], &mut rng);
+
+        let mut c_nn = Tensor::zeros(&[m, n]);
+        reference::gemm(m, k, n, a.data(), b.data(), c_nn.data_mut());
+        let mut c_nt = Tensor::zeros(&[m, n]);
+        reference::gemm_nt(m, k, n, a.data(), bt.data(), c_nt.data_mut());
+        let mut c_tn = Tensor::zeros(&[m, n]);
+        reference::gemm_tn(m, k, n, at.data(), b.data(), c_tn.data_mut());
+
+        for threads in [1usize, 2, 4] {
+            par::set_threads(threads);
+            let (nn, nt, tn) = (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b));
+            prop_assert_eq!(nn.data(), c_nn.data(), "gemm {}x{}x{} t{}", m, k, n, threads);
+            prop_assert_eq!(nt.data(), c_nt.data(), "nt {}x{}x{} t{}", m, k, n, threads);
+            prop_assert_eq!(tn.data(), c_tn.data(), "tn {}x{}x{} t{}", m, k, n, threads);
+        }
+        par::set_threads(0);
+    }
+
+    #[test]
+    fn bmm_family_bitwise_matches_reference(
+        seed in 0u64..1u64 << 48,
+        bt in 1usize..9,
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..40,
+    ) {
+        let _guard = lock_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = gemm_operand(&[bt, m, k], &mut rng);
+        let b = gemm_operand(&[bt, k, n], &mut rng);
+        let b_t = gemm_operand(&[bt, n, k], &mut rng);
+        let a_t = gemm_operand(&[bt, k, m], &mut rng);
+
+        let mut c_nn = Tensor::zeros(&[bt, m, n]);
+        let mut c_nt = Tensor::zeros(&[bt, m, n]);
+        let mut c_tn = Tensor::zeros(&[bt, m, n]);
+        for bi in 0..bt {
+            let c = &mut c_nn.data_mut()[bi * m * n..(bi + 1) * m * n];
+            reference::gemm(m, k, n, &a.data()[bi * m * k..(bi + 1) * m * k], &b.data()[bi * k * n..(bi + 1) * k * n], c);
+            let c = &mut c_nt.data_mut()[bi * m * n..(bi + 1) * m * n];
+            reference::gemm_nt(m, k, n, &a.data()[bi * m * k..(bi + 1) * m * k], &b_t.data()[bi * n * k..(bi + 1) * n * k], c);
+            let c = &mut c_tn.data_mut()[bi * m * n..(bi + 1) * m * n];
+            reference::gemm_tn(m, k, n, &a_t.data()[bi * k * m..(bi + 1) * k * m], &b.data()[bi * k * n..(bi + 1) * k * n], c);
+        }
+
+        for threads in [1usize, 2, 4] {
+            par::set_threads(threads);
+            let (nn, nt, tn) = (a.bmm(&b), a.bmm_nt(&b_t), a_t.bmm_tn(&b));
+            prop_assert_eq!(nn.data(), c_nn.data(), "bmm {}: {}x{}x{} t{}", bt, m, k, n, threads);
+            prop_assert_eq!(nt.data(), c_nt.data(), "bmm_nt {}: {}x{}x{} t{}", bt, m, k, n, threads);
+            prop_assert_eq!(tn.data(), c_tn.data(), "bmm_tn {}: {}x{}x{} t{}", bt, m, k, n, threads);
+        }
+        par::set_threads(0);
+    }
+
+    #[test]
+    fn parallel_row_ops_bitwise_match_serial(seed in 0u64..1u64 << 48, rows in 1usize..600, cols in 1usize..48) {
+        let _guard = lock_threads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = gemm_operand(&[rows, cols], &mut rng);
+        // Serial baselines (thread override 1 forces the inline path).
+        par::set_threads(1);
+        let sm = t.softmax_last();
+        let sl = t.sum_last();
+        let ms = t.row_mean_std();
+        let mp = t.map(|v| v * 1.5 - 0.25);
+        for threads in [2usize, 4] {
+            par::set_threads(threads);
+            let (sm2, sl2, mp2) = (t.softmax_last(), t.sum_last(), t.map(|v| v * 1.5 - 0.25));
+            prop_assert_eq!(sm2.data(), sm.data());
+            prop_assert_eq!(sl2.data(), sl.data());
+            prop_assert_eq!(t.row_mean_std(), ms.clone());
+            prop_assert_eq!(mp2.data(), mp.data());
+        }
+        par::set_threads(0);
     }
 }

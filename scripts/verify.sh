@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and a warnings-as-
+# errors clippy pass over the whole workspace. CI and pre-merge both run
+# exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"
