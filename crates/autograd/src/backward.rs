@@ -307,7 +307,7 @@ mod tests {
         let pred = g.matmul(w, x);
         let loss = g.mse(pred, y);
         g.backward(loss);
-        let dw = g.grad(w).unwrap();
+        let dw = g.grad(w).expect("w is a trainable leaf in the graph");
         assert!((dw.data()[0] + 5.0).abs() < 1e-5);
     }
 
@@ -319,7 +319,7 @@ mod tests {
         let s = g.add(x, x);
         let loss = g.mean_all(s);
         g.backward(loss);
-        assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(x).expect("x is a trainable leaf in the graph").data(), &[1.0, 1.0]);
     }
 
     #[test]
@@ -331,7 +331,7 @@ mod tests {
         let loss = g.sum_all(s);
         g.backward(loss);
         assert!(g.grad(c).is_none());
-        assert_eq!(g.grad(p).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(p).expect("p is a trainable leaf in the graph").data(), &[1.0, 1.0]);
     }
 
     #[test]
@@ -349,14 +349,14 @@ mod tests {
         let sq = g.mul(x, x);
         let l1 = g.mean_all(sq);
         g.backward(l1);
-        let first = g.grad(x).unwrap().data()[0];
+        let first = g.grad(x).expect("x is a trainable leaf in the graph").data()[0];
         assert!((first - 4.0).abs() < 1e-6);
         // Extend the graph and backward from a different loss: gradients are
         // replaced, not accumulated across calls.
         let tripled = g.scale(sq, 3.0);
         let l2 = g.mean_all(tripled);
         g.backward(l2);
-        let second = g.grad(x).unwrap().data()[0];
+        let second = g.grad(x).expect("x is a trainable leaf in the graph").data()[0];
         assert!((second - 12.0).abs() < 1e-6, "got {second}");
     }
 
@@ -378,7 +378,7 @@ mod tests {
         let t = g.constant(Tensor::zeros(&[3]));
         let loss = g.mae(p, t);
         g.backward(loss);
-        let gr = g.grad(p).unwrap();
+        let gr = g.grad(p).expect("p is a trainable leaf in the graph");
         let third = 1.0 / 3.0;
         assert!((gr.data()[0] - third).abs() < 1e-6);
         assert!((gr.data()[1] + third).abs() < 1e-6);

@@ -24,7 +24,7 @@
 //! let loss = g.mean_all(y);      // L = mean(x²)
 //! g.backward(loss);
 //! // dL/dx = 2x / n = x
-//! assert_eq!(g.grad(x).unwrap().data(), &[1.0, 2.0]);
+//! assert_eq!(g.grad(x).expect("x is a trainable leaf").data(), &[1.0, 2.0]);
 //! ```
 //!
 //! The op set is exactly what the FOCUS model, its ablations and the seven
@@ -33,6 +33,8 @@
 //! pointwise nonlinearities, concatenation and the MSE/MAE reductions.
 //! Gradient correctness is enforced by the finite-difference checker in
 //! [`gradcheck`] which the test-suite runs over every op.
+
+#![forbid(unsafe_code)]
 
 mod backward;
 mod graph;

@@ -22,6 +22,8 @@
 //! The [`zoo`] module instantiates all of them (plus FOCUS) with one call —
 //! the entry point the Table III harness uses.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod crossformer;
 pub mod dlinear;

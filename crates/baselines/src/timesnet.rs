@@ -169,7 +169,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(r.epoch_losses.last().unwrap() < &r.epoch_losses[0]);
+        assert!(r.epoch_losses.last().expect("training ran at least one epoch") < &r.epoch_losses[0]);
         assert!(model.evaluate(&ds, Split::Test, 48).mse().is_finite());
     }
 

@@ -30,10 +30,10 @@ fn main() {
         println!(
             "lr {lr:.0e}: FOCUS loss {:.3}->{:.3} test {:.4} | PatchTST loss {:.3}->{:.3} test {:.4}",
             rf.epoch_losses[0],
-            rf.epoch_losses.last().unwrap(),
+            rf.epoch_losses.last().expect("train ran at least one epoch"),
             mf.mse(),
             rp.epoch_losses[0],
-            rp.epoch_losses.last().unwrap(),
+            rp.epoch_losses.last().expect("train ran at least one epoch"),
             mp.mse()
         );
     }

@@ -19,5 +19,7 @@
 //! smoke-test-sized run. Results land in `results/` as CSV when `--csv` is
 //! passed.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod settings;

@@ -27,6 +27,8 @@
 //! assert!(j < 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod approx;
 mod engine;
 mod objective;

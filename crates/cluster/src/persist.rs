@@ -147,7 +147,7 @@ mod tests {
     fn text_round_trip_is_exact() {
         let p = sample();
         let text = p.to_text();
-        let q = Prototypes::from_text(&text).unwrap();
+        let q = Prototypes::from_text(&text).expect("serialised prototype text parses back");
         assert_eq!(p.centers().data(), q.centers().data());
         assert_eq!(p.objective(), q.objective());
     }
@@ -156,10 +156,10 @@ mod tests {
     fn file_round_trip() {
         let p = sample();
         let dir = std::env::temp_dir().join("focus-cluster-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
         let path = dir.join("protos.txt");
-        p.save(&path).unwrap();
-        let q = Prototypes::load(&path).unwrap();
+        p.save(&path).expect("prototypes save to a writable temp file");
+        let q = Prototypes::load(&path).expect("just-saved prototype file loads");
         assert_eq!(p.centers().data(), q.centers().data());
         std::fs::remove_file(&path).ok();
     }
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn rec_only_round_trip() {
         let p = Prototypes::from_centers(Tensor::zeros(&[1, 2]), Objective::RecOnly);
-        let q = Prototypes::from_text(&p.to_text()).unwrap();
+        let q = Prototypes::from_text(&p.to_text()).expect("serialised prototype text parses back");
         assert_eq!(q.objective(), Objective::RecOnly);
     }
 }

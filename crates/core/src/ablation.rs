@@ -351,7 +351,7 @@ mod tests {
         let all_lnr = costs
             .iter()
             .find(|(v, _)| *v == AblationVariant::AllLnr)
-            .unwrap()
+            .expect("AllLnr is one of the swept variants")
             .1;
         for (v, c) in &costs {
             if *v != AblationVariant::AllLnr {

@@ -269,7 +269,7 @@ mod tests {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
+            .expect("validation ran at least one epoch")
             .0;
         assert_eq!(best, argmin);
         // And the restored model must reproduce that validation score.
@@ -306,7 +306,7 @@ mod tests {
             },
         );
         assert!(
-            r.epoch_losses.last().unwrap() < &r.epoch_losses[0],
+            r.epoch_losses.last().expect("training ran at least one epoch") < &r.epoch_losses[0],
             "MAE training did not improve: {:?}",
             r.epoch_losses
         );

@@ -34,6 +34,8 @@
 //! println!("MSE {:.4}, MAE {:.4}", metrics.mse(), metrics.mae());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod extractor;
 pub mod forecaster;

@@ -176,8 +176,8 @@ mod tests {
         // The paper's regime: rows are r noisy motifs; k = r prototypes
         // recover them and the factorisation error collapses.
         let reports = sweep_motifs(128, 16, 4, 0.05, &[1, 2, 4, 16], 9);
-        let at_r = reports.iter().find(|r| r.k == 4).unwrap().relative_error;
-        let below_r = reports.iter().find(|r| r.k == 2).unwrap().relative_error;
+        let at_r = reports.iter().find(|r| r.k == 4).expect("sweep covers k=4").relative_error;
+        let below_r = reports.iter().find(|r| r.k == 2).expect("sweep covers k=2").relative_error;
         assert!(at_r < 0.15, "error at k=r should be small, got {at_r}");
         assert!(below_r > 2.0 * at_r, "k<r should be much worse: {below_r} vs {at_r}");
     }
@@ -187,7 +187,7 @@ mod tests {
         let reports = sweep(48, 10, 3, &[1, 4, 16, 48], 6);
         assert_eq!(reports.len(), 4);
         assert!(
-            reports.last().unwrap().relative_error < reports[0].relative_error,
+            reports.last().expect("sweep produced reports").relative_error < reports[0].relative_error,
             "sweep not improving: {reports:?}"
         );
     }

@@ -292,7 +292,7 @@ mod tests {
         let report = model.train(&ds, &opts);
         assert_eq!(report.epoch_losses.len(), 4);
         let first = report.epoch_losses[0];
-        let last = *report.epoch_losses.last().unwrap();
+        let last = *report.epoch_losses.last().expect("training ran at least one epoch");
         assert!(last < first, "loss did not improve: {:?}", report.epoch_losses);
     }
 

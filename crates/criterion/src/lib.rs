@@ -12,6 +12,8 @@
 //! `sample_size` batches have run). Mean, best and worst batch times are
 //! printed to stdout — no HTML reports, statistics or comparison baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::{self, Display};
 use std::time::{Duration, Instant};
 

@@ -32,6 +32,8 @@
 //! assert!(!windows.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod metrics;
 pub mod novelty;

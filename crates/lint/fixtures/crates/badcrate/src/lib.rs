@@ -1,0 +1,4 @@
+//! A crate root with no `#![forbid(unsafe_code)]` — the `unsafe-forbid`
+//! rule must flag line 1.
+
+pub fn noop() {}

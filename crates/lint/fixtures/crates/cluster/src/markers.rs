@@ -1,0 +1,16 @@
+// Seeded violations for the `allow-marker` rule: suppressions must be
+// well-formed and justified.
+
+pub fn a(x: f32) -> bool {
+    // focus-lint: allow(float-hygiene)
+    x == 0.0 // marker above has no `-- <reason>`: marker flagged, finding kept
+}
+
+pub fn b(x: f32) -> bool {
+    // focus-lint: allow(flaot-hygiene) -- typo in the rule name
+    x != 0.0
+}
+
+pub fn c() {
+    // focus-lint: allowing(panic-hygiene) -- not even the right keyword
+}

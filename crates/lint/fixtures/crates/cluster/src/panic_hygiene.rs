@@ -1,0 +1,29 @@
+// Seeded violations for the `panic-hygiene` rule.
+
+pub fn load(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap() // bare unwrap
+}
+
+pub fn centroid(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        panic!("empty bucket"); // panic! in library code
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+pub fn merge() {
+    todo!() // todo!
+}
+
+pub fn split() {
+    unimplemented!() // unimplemented!
+}
+
+pub fn first(xs: &[f32]) -> f32 {
+    *xs.first().expect("") // empty expect message
+}
+
+pub fn fine(xs: &[f32]) -> f32 {
+    // negative case: a justified expect must NOT be flagged
+    *xs.first().expect("caller guarantees at least one segment")
+}

@@ -1,0 +1,6 @@
+//! A fully clean crate root: the attribute is present and nothing else in
+//! the file violates any rule, so the lint must exit zero here.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,26 @@
+// Seeded violations for the `float-hygiene` rule.
+
+pub fn gate(a: f32, b: f32) -> bool {
+    a != 0.0 // literal on the right
+}
+
+pub fn is_unit(w: f32) -> bool {
+    1.0 == w // literal on the left
+}
+
+pub fn saturated(x: f32) -> bool {
+    x == -1.0 // unary minus before the literal
+}
+
+pub fn any_zero(xs: &[f32]) -> bool {
+    xs.contains(&0.0) // exact per-element equality in disguise
+}
+
+pub fn marked(a: f32) -> bool {
+    // focus-lint: allow(float-hygiene) -- exact zero means "segment absent", never computed
+    a == 0.0
+}
+
+pub fn integers_are_fine(n: usize) -> bool {
+    n == 0 // negative case: integer comparison must NOT be flagged
+}

@@ -1,0 +1,29 @@
+// Seeded violations for the `determinism` rule: every construct below is
+// banned in the numeric crates (tensor/cluster/nn/core/autograd).
+
+use std::collections::HashMap; // line 5: HashMap
+use std::collections::HashSet; // line 6: HashSet
+use std::time::{Instant, SystemTime};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new(); // two more HashSet hits
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn timed() -> f64 {
+    let t0 = Instant::now(); // clock read
+    let _wall = SystemTime::now(); // clock read
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn fan_out() {
+    std::thread::spawn(|| {}); // spawning outside focus_tensor::par
+    std::thread::scope(|_s| {}); // scoped spawning outside focus_tensor::par
+}
+
+fn keyed() -> HashMap<u32, f32> {
+    HashMap::new()
+}

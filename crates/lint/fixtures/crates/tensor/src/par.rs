@@ -1,0 +1,15 @@
+// Mirror of the real `crates/tensor/src/par.rs` exemption: this file (and
+// only this file) may spawn threads, so the lint must stay silent here.
+
+pub fn parallel_for(n: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {});
+        }
+    });
+}
+
+pub fn detached() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

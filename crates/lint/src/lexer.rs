@@ -1,0 +1,442 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rule engine.
+//!
+//! The lexer's job is **separation, not parsing**: it must never confuse code
+//! with the inside of a string literal, a (possibly nested) block comment, a
+//! raw string, or a char literal, and it must keep line numbers exact so
+//! diagnostics land where the developer is looking. Everything else — item
+//! structure, types, name resolution — is out of scope; the rules work on
+//! token shapes (`.` `unwrap` `(` `)`) instead.
+//!
+//! Robustness contract: `lex` never panics, on any input. Malformed or
+//! unterminated constructs are consumed to end of input and still produce a
+//! token, because a lint that crashes on the file it is criticising is worse
+//! than useless. `tests/properties.rs` holds a proptest for this.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (disambiguated from char literals).
+    Lifetime,
+    /// Integer literal, including `0x`/`0o`/`0b` forms and suffixed ones.
+    Int,
+    /// Float literal (`0.0`, `1.`, `1e-3`, `2f32`).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br##"…"##`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// `// …` comment (doc comments included); text keeps the full line.
+    LineComment,
+    /// `/* … */` comment, nested blocks handled; text keeps the delimiters.
+    BlockComment,
+    /// Operator or punctuation, maximal-munch (`==`, `::`, `..=`, or 1 char).
+    Op,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Shorthand: is this an `Op` with exactly this text?
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == Kind::Op && self.text == s
+    }
+
+    /// Shorthand: is this an `Ident` with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a linear scan.
+const OPS3: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+const OPS2: [&str; 19] = [
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "<<",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Collects `chars[start..self.i]` into a token.
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Kind::LineComment, start, line);
+    }
+
+    /// `/* … */` with nesting; unterminated comments run to end of input.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(Kind::BlockComment, start, line);
+    }
+
+    /// A `"`-delimited string body; the opening quote is already consumed.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // skip the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string body after `r`/`br` + `hashes` `#`s + the opening `"`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// `'` already seen (not consumed): lifetime or char literal?
+    ///
+    /// Disambiguation: `'\…` is always a char; `'x'` (any single char then a
+    /// closing quote) is a char; anything else (`'a`, `'static`, `'_`) is a
+    /// lifetime. This matches rustc for every program that compiles.
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escaped char (or EOF)
+                // consume up to the closing quote, bounded for junk like '\u{…}'
+                while let Some(c) = self.peek(0) {
+                    let done = c == '\'';
+                    self.bump();
+                    if done {
+                        break;
+                    }
+                }
+                self.push(Kind::Char, start, line);
+            }
+            Some(_) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(Kind::Char, start, line);
+            }
+            _ => {
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Kind::Lifetime, start, line);
+            }
+        }
+    }
+
+    /// Number starting at a digit. Distinguishes ints from floats well enough
+    /// for the float-hygiene rule: `1.0`, `1.`, `1e-3` and `2f32` are floats;
+    /// `1..n`, `1.max(2)`, `0xff` and `3usize` are ints.
+    fn number(&mut self, start: usize, line: u32) {
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Kind::Int, start, line);
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                // `1..n` is a range, `1.sqrt()` a method call: the dot is not ours
+                Some('.') => {}
+                Some(c) if c.is_alphabetic() || c == '_' => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-')) as usize;
+            if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                for _ in 0..sign {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // type suffix: `f32`/`f64` force float, `usize`/`i64`/… stay int
+        if matches!(self.peek(0), Some('f')) && !float {
+            float = matches!((self.peek(1), self.peek(2)), (Some('3'), Some('2')) | (Some('6'), Some('4')));
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        self.push(if float { Kind::Float } else { Kind::Int }, start, line);
+    }
+
+    /// Identifier; also routes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`
+    /// and raw identifiers (`r#type`), all of which start with a letter.
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32) {
+        let c0 = self.peek(0);
+        // raw / byte literal prefixes
+        if matches!(c0, Some('r' | 'b')) {
+            let (mut j, byte) = if c0 == Some('b') && self.peek(1) == Some('r') {
+                (2, true)
+            } else {
+                (1, c0 == Some('b'))
+            };
+            let mut hashes = 0usize;
+            while self.peek(j) == Some('#') {
+                hashes += 1;
+                j += 1;
+            }
+            if self.peek(j) == Some('"') && (c0 == Some('r') || byte) {
+                for _ in 0..j + 1 {
+                    self.bump(); // prefix, hashes, opening quote
+                }
+                if hashes == 0 {
+                    self.string_body();
+                } else {
+                    self.raw_string_body(hashes);
+                }
+                self.push(Kind::Str, start, line);
+                return;
+            }
+            if c0 == Some('b') && self.peek(1) == Some('\'') {
+                self.bump(); // 'b'
+                self.quote(start, line);
+                return;
+            }
+            if c0 == Some('r') && hashes == 1 && matches!(self.peek(2), Some(c) if c.is_alphabetic() || c == '_')
+            {
+                self.bump(); // 'r'
+                self.bump(); // '#'
+                // fall through to consume the raw identifier's name
+            }
+        }
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        self.push(Kind::Ident, start, line);
+    }
+
+    fn operator(&mut self, start: usize, line: u32) {
+        let take = |n: usize, s: &mut Self| {
+            for _ in 0..n {
+                s.bump();
+            }
+        };
+        let next3: String = (0..3).filter_map(|k| self.peek(k)).collect();
+        let next2: String = (0..2).filter_map(|k| self.peek(k)).collect();
+        if OPS3.contains(&next3.as_str()) {
+            take(3, self);
+        } else if OPS2.contains(&next2.as_str()) {
+            take(2, self);
+        } else {
+            take(1, self);
+        }
+        self.push(Kind::Op, start, line);
+    }
+}
+
+/// Lexes `src` into tokens. Total over the input: every character lands in
+/// exactly one token or in inter-token whitespace, and the function never
+/// panics (see module docs).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Vec::new() };
+    while let Some(c) = lx.peek(0) {
+        let (start, line) = (lx.i, lx.line);
+        match c {
+            _ if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => lx.line_comment(start, line),
+            '/' if lx.peek(1) == Some('*') => lx.block_comment(start, line),
+            '"' => {
+                lx.bump();
+                lx.string_body();
+                lx.push(Kind::Str, start, line);
+            }
+            '\'' => lx.quote(start, line),
+            _ if c.is_ascii_digit() => lx.number(start, line),
+            _ if c.is_alphabetic() || c == '_' => lx.ident_or_prefixed_literal(start, line),
+            _ => lx.operator(start, line),
+        }
+    }
+    lx.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Kind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = lex(r#"let s = "a.unwrap() // not code"; // real comment"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("unwrap"));
+        assert_eq!(toks.last().expect("nonempty").kind, Kind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks[0].kind, Kind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"r#"has "quote" inside"# x"###);
+        assert_eq!(toks[0].kind, Kind::Str);
+        assert!(toks[1].is_ident("x"));
+        let toks = lex("br##\"bytes\"## y");
+        assert_eq!(toks[0].kind, Kind::Str);
+        assert!(toks[1].is_ident("y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(kinds("'a 'static '_"), vec![Kind::Lifetime; 3]);
+        assert_eq!(kinds(r"'a' '\n' '\'' b'\0' '\u{1F600}'"), vec![Kind::Char; 5]);
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        assert_eq!(kinds("0.0"), vec![Kind::Float]);
+        assert_eq!(kinds("1."), vec![Kind::Float]);
+        assert_eq!(kinds("1e-3"), vec![Kind::Float]);
+        assert_eq!(kinds("2f32"), vec![Kind::Float]);
+        assert_eq!(kinds("3usize"), vec![Kind::Int]);
+        assert_eq!(kinds("0xff_u8"), vec![Kind::Int]);
+        // `1..n` is int, op, ident — the dots belong to the range
+        assert_eq!(kinds("1..n"), vec![Kind::Int, Kind::Op, Kind::Ident]);
+        // `1.max(2)` is a method call on an integer
+        assert_eq!(kinds("1.max(2)")[0], Kind::Int);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let toks = lex("a==b!=c..=d");
+        let ops: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Op).map(|t| t.text.as_str()).collect();
+        assert_eq!(ops, vec!["==", "!=", "..="]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("r#type r#fn normal");
+        assert!(toks.iter().all(|t| t.kind == Kind::Ident));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let toks = lex("a\nb\n\n  c /* x\ny */ d");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).expect("present").line;
+        assert_eq!((find("a"), find("b"), find("c"), find("d")), (1, 2, 4, 5));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'", "1e", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

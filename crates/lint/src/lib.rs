@@ -1,0 +1,33 @@
+//! # focus-lint
+//!
+//! From-scratch static analysis for the FOCUS workspace — no external
+//! dependencies, matching the offline-shim policy (DESIGN.md §7). A
+//! hand-rolled Rust lexer ([`lexer`]) feeds a token-stream rule engine
+//! ([`engine`], [`rules`]) that machine-checks the invariants the
+//! bitwise-determinism promise of the parallel backend rests on:
+//!
+//! * **determinism** — no `HashMap`/`HashSet`, no clock reads, and no thread
+//!   spawning outside `focus_tensor::par` in the numeric crates
+//!   (`tensor`, `cluster`, `nn`, `core`, `autograd`);
+//! * **panic-hygiene** — no bare `.unwrap()` / `panic!` in non-test library
+//!   code; failures carry an invariant message or propagate a `Result`;
+//! * **float-hygiene** — no `==`/`!=` against float literals without an
+//!   allow-marked reason (the one-hot sparsity skips are the canonical
+//!   intentional site);
+//! * **unsafe-forbid** — `#![forbid(unsafe_code)]` in every crate root;
+//! * **allow-marker** — suppressions are well-formed:
+//!   `// focus-lint: allow(<rule>) -- <reason>`, reason mandatory.
+//!
+//! Run it over the workspace with
+//! `cargo run -p focus-lint --release -- crates/ src/`; it prints
+//! `file:line: rule: message` diagnostics and exits nonzero on any finding.
+//! `scripts/verify.sh` runs exactly that, so tier-1 verification fails on
+//! regressions. Code inside strings, comments, `#[cfg(test)]` modules,
+//! `#[test]` functions, and `tests/`/`benches/`/`examples/` trees is exempt
+//! from the hygiene rules.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,31 @@
+//! `focus-lint` CLI: lints the paths given as arguments (default: the
+//! current directory), prints `file:line: rule: message` diagnostics plus a
+//! rule/finding summary, and exits 1 if anything was found.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+    let (files, findings) = focus_lint::engine::run(&paths);
+    for f in &findings {
+        println!("{f}");
+    }
+    // counts in the summary line so verify.sh logs make regressions visible
+    println!(
+        "focus-lint: {} rules, {} findings across {} files",
+        focus_lint::rules::RULES.len(),
+        findings.len(),
+        files
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

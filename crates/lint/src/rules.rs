@@ -1,0 +1,215 @@
+//! The invariant rules. Each one is a token-shape matcher over the
+//! comment-free [`CodeView`]; none of them require type information, which is
+//! what keeps the whole tool dependency-free and fast enough to run on every
+//! `scripts/verify.sh` invocation.
+//!
+//! | rule            | invariant it guards                                        |
+//! |-----------------|------------------------------------------------------------|
+//! | `determinism`   | bitwise-identical runs: no hash-order iteration, no clock  |
+//! |                 | reads, thread spawning only in `focus_tensor::par`         |
+//! | `panic-hygiene` | library code fails with context: no bare `.unwrap()`,      |
+//! |                 | `panic!`, `todo!`, `unimplemented!`, or empty `.expect("")`|
+//! | `float-hygiene` | no `==`/`!=` against float literals (and no                |
+//! |                 | `.contains(&0.0)`) without an allow-marked reason          |
+//! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`         |
+//! | `allow-marker`  | suppressions themselves are well-formed and justified      |
+
+use crate::engine::{CodeView, FileCtx, Finding};
+use crate::lexer::{Kind, Token};
+
+/// Every rule the engine knows, in reporting order. `allow-marker` findings
+/// are emitted by the marker parser in [`crate::engine::collect_allows`].
+pub const RULES: [&str; 5] =
+    ["determinism", "panic-hygiene", "float-hygiene", "unsafe-forbid", "allow-marker"];
+
+/// Crates whose numeric paths underwrite the bitwise-determinism promise of
+/// PR 1; only these are in scope for the `determinism` rule.
+const DETERMINISM_CRATES: [&str; 5] = ["tensor", "cluster", "nn", "core", "autograd"];
+
+/// Runs every applicable rule for this file over the code view.
+pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
+    if ctx.is_crate_root {
+        unsafe_forbid(ctx, view, findings);
+    }
+    if ctx.is_test_path {
+        // integration tests / benches / examples: hygiene rules do not apply
+        return;
+    }
+    panic_hygiene(ctx, view, findings);
+    float_hygiene(ctx, view, findings);
+    if DETERMINISM_CRATES.contains(&ctx.crate_name.as_str()) {
+        determinism(ctx, view, findings);
+    }
+}
+
+fn emit(ctx: &FileCtx, rule: &'static str, line: u32, message: String, out: &mut Vec<Finding>) {
+    out.push(Finding { file: ctx.path.clone(), line, rule, message });
+}
+
+/// Iterator over code-token indices that are *not* inside test regions.
+fn live<'v>(view: &'v CodeView<'_>) -> impl Iterator<Item = (usize, &'v Token)> + 'v {
+    view.code
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !view.in_test[*j])
+        .map(|(j, t)| (j, *t))
+}
+
+/// `determinism`: no `HashMap`/`HashSet` (iteration order is seeded per
+/// process), no `Instant::now`/`SystemTime` (clock reads make numeric paths
+/// time-dependent), and `thread::spawn`/`thread::scope` only inside
+/// `crates/tensor/src/par.rs` — the one audited fan-out point.
+fn determinism(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            name @ ("HashMap" | "HashSet") => emit(
+                ctx,
+                "determinism",
+                t.line,
+                format!("{name} has seeded iteration order; use BTreeMap/BTreeSet/Vec in numeric paths"),
+                out,
+            ),
+            "Instant"
+                if c.get(j + 1).is_some_and(|n| n.is_op("::"))
+                    && c.get(j + 2).is_some_and(|n| n.is_ident("now")) =>
+            {
+                emit(ctx, "determinism", t.line, "clock read (Instant::now) in a numeric path".into(), out)
+            }
+            "SystemTime" => {
+                emit(ctx, "determinism", t.line, "clock read (SystemTime) in a numeric path".into(), out)
+            }
+            "spawn" | "scope"
+                if !ctx.is_par_module
+                    && j >= 2
+                    && c[j - 1].is_op("::")
+                    && c[j - 2].is_ident("thread") =>
+            {
+                emit(
+                    ctx,
+                    "determinism",
+                    t.line,
+                    format!("thread::{} outside focus_tensor::par — all fan-out goes through the audited pool", t.text),
+                    out,
+                )
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `panic-hygiene`: library code must fail with an invariant message
+/// (`.expect("…")`) or propagate a `Result` — a bare `.unwrap()` backtrace in
+/// a 40-epoch training run tells the user nothing.
+fn panic_hygiene(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let preceded_by_dot = j >= 1 && c[j - 1].is_op(".");
+        let called_empty = c.get(j + 1).is_some_and(|n| n.is_op("("))
+            && c.get(j + 2).is_some_and(|n| n.is_op(")"));
+        match t.text.as_str() {
+            "unwrap" if preceded_by_dot && called_empty => emit(
+                ctx,
+                "panic-hygiene",
+                t.line,
+                "bare .unwrap(): use .expect(\"<invariant>\") or propagate the error".into(),
+                out,
+            ),
+            "expect"
+                if preceded_by_dot
+                    && c.get(j + 1).is_some_and(|n| n.is_op("("))
+                    && c.get(j + 2).is_some_and(|n| n.kind == Kind::Str && str_is_empty(&n.text)) =>
+            {
+                emit(ctx, "panic-hygiene", t.line, "empty .expect(\"\"): state the invariant that held".into(), out)
+            }
+            name @ ("panic" | "todo" | "unimplemented")
+                if c.get(j + 1).is_some_and(|n| n.is_op("!")) && !preceded_by_dot =>
+            {
+                emit(
+                    ctx,
+                    "panic-hygiene",
+                    t.line,
+                    format!("{name}! in library code: return an error or .expect with context"),
+                    out,
+                )
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is a string literal's content empty (`""`, `r""`, `b""`)?
+fn str_is_empty(text: &str) -> bool {
+    text.trim_start_matches(['r', 'b', '#']).trim_end_matches('#') == "\"\""
+}
+
+/// `float-hygiene`: `==`/`!=` where either operand is a float literal, plus
+/// `.contains(&<float>)` (element-wise exact equality in disguise). Exact
+/// float comparison is occasionally *correct* — the one-hot sparsity skips in
+/// `matmul.rs` test "is this the exact bit pattern of 0.0" on purpose — so
+/// intentional sites carry an allow marker with the reason spelled out.
+fn float_hygiene(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        let cmp = t.kind == Kind::Op && (t.text == "==" || t.text == "!=");
+        if cmp {
+            let prev_float = j >= 1 && c[j - 1].kind == Kind::Float;
+            // allow one unary minus before the right operand
+            let rhs = if c.get(j + 1).is_some_and(|n| n.is_op("-")) { j + 2 } else { j + 1 };
+            let next_float = c.get(rhs).is_some_and(|n| n.kind == Kind::Float);
+            if prev_float || next_float {
+                emit(
+                    ctx,
+                    "float-hygiene",
+                    t.line,
+                    format!("float `{}` comparison: use to_bits()/epsilon, or allow-mark the intent", t.text),
+                    out,
+                );
+            }
+        } else if t.is_ident("contains")
+            && c.get(j + 1).is_some_and(|n| n.is_op("("))
+            && c.get(j + 2).is_some_and(|n| n.is_op("&"))
+            && c.get(j + 3).is_some_and(|n| n.kind == Kind::Float)
+        {
+            emit(
+                ctx,
+                "float-hygiene",
+                t.line,
+                "contains(&<float>) is exact float equality per element: allow-mark or compare bits".into(),
+                out,
+            );
+        }
+    }
+}
+
+/// `unsafe-forbid`: the crate root must carry `#![forbid(unsafe_code)]`, so
+/// the workspace's no-`unsafe` status quo is a compile error to regress, not
+/// a convention.
+fn unsafe_forbid(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    let found = c.windows(8).any(|w| {
+        w[0].is_op("#")
+            && w[1].is_op("!")
+            && w[2].is_op("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_op("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_op(")")
+            && w[7].is_op("]")
+    });
+    if !found {
+        emit(
+            ctx,
+            "unsafe-forbid",
+            1,
+            "crate root missing #![forbid(unsafe_code)]".into(),
+            out,
+        );
+    }
+}

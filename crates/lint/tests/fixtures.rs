@@ -1,0 +1,160 @@
+//! Fixture-backed self-tests: every rule has a fixture with seeded
+//! violations that must be caught at exact lines, negative fixtures that must
+//! stay silent, and the binary's exit code is asserted end-to-end via
+//! `CARGO_BIN_EXE_focus-lint`.
+
+use focus_lint::engine::{lint_file, run, Finding};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel)
+}
+
+/// (rule, line) pairs in file order, for compact comparison.
+fn hits(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn determinism_fixture_catches_every_seeded_violation() {
+    let f = lint_file(&fixture("crates/tensor/src/determinism.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("determinism", 4),  // use … HashMap
+            ("determinism", 5),  // use … HashSet
+            ("determinism", 6),  // use … SystemTime
+            ("determinism", 9),  // HashSet type annotation
+            ("determinism", 9),  // HashSet::new()
+            ("determinism", 17), // Instant::now()
+            ("determinism", 18), // SystemTime::now()
+            ("determinism", 23), // thread::spawn
+            ("determinism", 24), // thread::scope
+            ("determinism", 27), // HashMap return type
+            ("determinism", 28), // HashMap::new()
+        ]
+    );
+}
+
+#[test]
+fn par_module_is_exempt_from_thread_rule() {
+    let f = lint_file(&fixture("crates/tensor/src/par.rs"));
+    assert!(f.is_empty(), "par.rs must be allowed to spawn: {f:?}");
+}
+
+#[test]
+fn panic_hygiene_fixture_catches_every_seeded_violation() {
+    let f = lint_file(&fixture("crates/cluster/src/panic_hygiene.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("panic-hygiene", 4),  // bare .unwrap()
+            ("panic-hygiene", 9),  // panic!
+            ("panic-hygiene", 15), // todo!
+            ("panic-hygiene", 19), // unimplemented!
+            ("panic-hygiene", 23), // .expect("")
+        ]
+    );
+}
+
+#[test]
+fn float_hygiene_fixture_catches_every_seeded_violation() {
+    let f = lint_file(&fixture("crates/nn/src/float_hygiene.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("float-hygiene", 4),  // a != 0.0
+            ("float-hygiene", 8),  // 1.0 == w
+            ("float-hygiene", 12), // x == -1.0
+            ("float-hygiene", 16), // contains(&0.0)
+        ]
+    );
+}
+
+#[test]
+fn unsafe_forbid_fixture_flags_missing_attribute() {
+    let f = lint_file(&fixture("crates/badcrate/src/lib.rs"));
+    assert_eq!(hits(&f), vec![("unsafe-forbid", 1)]);
+}
+
+#[test]
+fn allow_marker_fixture_flags_malformed_suppressions() {
+    let f = lint_file(&fixture("crates/cluster/src/markers.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("allow-marker", 5),   // marker without `-- <reason>`
+            ("float-hygiene", 6),  // …so the finding below it survives
+            ("allow-marker", 10),  // typo'd rule name
+            ("float-hygiene", 11), // …suppresses nothing either
+            ("allow-marker", 15),  // not even the allow(…) keyword
+        ]
+    );
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for rel in ["crates/core/src/clean.rs", "crates/goodcrate/src/lib.rs"] {
+        let f = lint_file(&fixture(rel));
+        assert!(f.is_empty(), "{rel} must be finding-free: {f:?}");
+    }
+}
+
+#[test]
+fn engine_run_walks_fixture_tree_deterministically() {
+    let (files, findings) = run(&[fixture("crates")]);
+    assert_eq!(files, 8, "all fixture files reached");
+    // one positive fixture per rule keeps the suite honest
+    for rule in focus_lint::rules::RULES {
+        assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");
+    }
+    let (_, again) = run(&[fixture("crates")]);
+    assert_eq!(hits(&findings), hits(&again), "walk order must be deterministic");
+}
+
+/// End-to-end: the binary exits nonzero on each rule's seeded fixture and
+/// zero on a clean tree.
+#[test]
+fn binary_exit_codes_match_findings() {
+    let bin = env!("CARGO_BIN_EXE_focus-lint");
+    let status = |p: PathBuf| {
+        Command::new(bin)
+            .arg(&p)
+            .output()
+            .expect("focus-lint binary runs")
+    };
+    for dirty in [
+        "crates/tensor/src/determinism.rs",
+        "crates/cluster/src/panic_hygiene.rs",
+        "crates/nn/src/float_hygiene.rs",
+        "crates/badcrate/src/lib.rs",
+        "crates/cluster/src/markers.rs",
+    ] {
+        let out = status(fixture(dirty));
+        assert_eq!(out.status.code(), Some(1), "{dirty} must fail the lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("5 rules"), "summary line present: {stdout}");
+    }
+    let out = status(fixture("crates/goodcrate"));
+    assert_eq!(out.status.code(), Some(0), "clean tree must pass");
+}
+
+/// The real workspace stays lint-clean: this is the same invariant
+/// `scripts/verify.sh` enforces, kept here so `cargo test` alone catches
+/// regressions too.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let (files, findings) = run(&[root.join("crates"), root.join("src")]);
+    assert!(files > 80, "walked the whole workspace, saw {files} files");
+    assert!(
+        findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,0 +1,121 @@
+//! Property tests for the lint: the lexer is total and panic-free on
+//! arbitrary input, and the engine never reports violations that sit inside
+//! strings, comments, or `#[cfg(test)]` modules.
+
+use focus_lint::engine::{lint_source, FileCtx};
+use focus_lint::lexer;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// A context under which every rule is live: tensor crate, non-test,
+/// non-root, not the par module.
+fn hot_ctx() -> FileCtx {
+    FileCtx::from_path(Path::new("crates/tensor/src/generated.rs"))
+}
+
+/// Characters that exercise the lexer's hard paths: quote kinds, comment
+/// delimiters, raw/byte prefixes, numeric shapes, escapes.
+const TRICKY: [char; 24] = [
+    '"', '\'', '\\', '/', '*', '#', 'r', 'b', '0', '1', '.', '=', '!', 'e', 'f', '{', '}', '[',
+    ']', '\n', 'x', '_', '-', ':',
+];
+
+fn squash(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Payload alphabet that cannot terminate a string literal or a block
+/// comment: no `"`, `\`, `/`, `*`, and no newline.
+const SAFE: [char; 20] =
+    ['a', 'Z', '0', '9', ' ', '_', '.', ',', ';', '(', ')', '=', '!', '&', '<', '>', '+', '-',
+        '{', '}'];
+
+fn from_picks(picks: &[usize], alphabet: &[char]) -> String {
+    picks.iter().map(|&i| alphabet[i % alphabet.len()]).collect()
+}
+
+/// Violation text seeded into opaque regions: would trip four different
+/// rules if it were ever read as code.
+const BAIT: &str = ".unwrap() panic! HashMap thread::spawn SystemTime x == 0.0";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer neither panics nor drops characters, on any input: random
+    /// codepoints interleaved with the trickiest delimiter characters.
+    #[test]
+    fn lexer_is_total_and_panic_free(
+        raw in prop::collection::vec(0u32..0xD800, 0..120),
+        picks in prop::collection::vec(0usize..1000, 0..120),
+    ) {
+        let mut src = String::new();
+        for (i, r) in raw.iter().enumerate() {
+            if let Some(&p) = picks.get(i) {
+                src.push(TRICKY[p % TRICKY.len()]);
+            }
+            src.push(char::from_u32(*r).unwrap_or('\u{FFFD}'));
+        }
+        let toks = lexer::lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        // totality: every non-whitespace char lands in exactly one token
+        prop_assert_eq!(squash(&rebuilt), squash(&src));
+        // the full engine survives the same soup
+        let _ = lint_source(&hot_ctx(), &src);
+    }
+
+    /// Violations spelled out inside string literals, line comments and
+    /// nested block comments are invisible to every rule.
+    #[test]
+    fn strings_and_comments_are_opaque_to_rules(
+        picks in prop::collection::vec(0usize..1000, 0..60),
+    ) {
+        let p = from_picks(&picks, &SAFE);
+        let src = format!(
+            "pub fn f() -> &'static str {{\n\
+             \x20   // {p} {BAIT}\n\
+             \x20   /* {p} /* nested {BAIT} */ {p} */\n\
+             \x20   \"{p} {BAIT}\"\n\
+             }}\n"
+        );
+        let findings = lint_source(&hot_ctx(), &src);
+        prop_assert!(findings.is_empty(), "opaque regions leaked: {:?}\n{}", findings, src);
+    }
+
+    /// The same violations written inside a `#[cfg(test)]` module or a
+    /// `#[test]` fn are exempt — and leak the moment the test wrapper is
+    /// removed (same body, same context, so the exemption is doing the work).
+    #[test]
+    fn test_regions_are_exempt(picks in prop::collection::vec(0usize..1000, 0..40)) {
+        let name = from_picks(&picks, &['a', 'b', 'c', 'd', '_']);
+        let body = format!(
+            "fn helper_{name}() {{\n\
+             \x20   let v: Vec<f32> = Vec::new();\n\
+             \x20   let _ = v.first().unwrap();\n\
+             \x20   if v.len() as f32 == 0.0 {{ panic!(\"boom\"); }}\n\
+             }}\n"
+        );
+        let wrapped = format!("#[cfg(test)]\nmod tests {{\n{body}}}\n#[test]\n{body}");
+        let findings = lint_source(&hot_ctx(), &wrapped);
+        prop_assert!(findings.is_empty(), "test regions leaked: {findings:?}");
+
+        let unwrapped = lint_source(&hot_ctx(), &body);
+        prop_assert_eq!(unwrapped.len(), 3, "bare body must trip unwrap+float+panic: {:?}", unwrapped);
+    }
+
+    /// A float-literal comparison in live code is caught for any literal
+    /// value, on either side of either operator.
+    #[test]
+    fn float_comparisons_are_caught(v in 0.0f32..1000.0, flip in 0usize..4) {
+        let lit = format!("{v:?}");
+        let expr = match flip {
+            0 => format!("x == {lit}"),
+            1 => format!("x != {lit}"),
+            2 => format!("{lit} == x"),
+            _ => format!("x == -{lit}"),
+        };
+        let src = format!("pub fn f(x: f32) -> bool {{ {expr} }}\n");
+        let findings = lint_source(&hot_ctx(), &src);
+        prop_assert_eq!(findings.len(), 1, "missed `{}`: {:?}", expr, findings);
+        prop_assert_eq!(findings[0].rule, "float-hygiene");
+    }
+}

@@ -19,6 +19,8 @@
 //!   the standard distribution-shift guard used by PatchTST/DLinear-class
 //!   models and by FOCUS's online phase.
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod cost;
 pub mod init;

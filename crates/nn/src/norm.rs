@@ -104,7 +104,7 @@ mod tests {
             ps.step(&mut opt, &g, &pv);
         }
         // β should be near 2; γ near 1.
-        let (_, _, beta) = ps.iter().nth(1).unwrap();
+        let (_, _, beta) = ps.iter().nth(1).expect("LayerNorm exposes gamma and beta");
         assert!((beta.mean_all() - 2.0).abs() < 0.1, "beta {:?}", beta);
     }
 }

@@ -10,6 +10,8 @@
 //! failing cases are **not shrunk** (the panic message reports the case seed
 //! so a failure replays deterministically), and there is no persistence file.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! Value-generation strategies.
 
@@ -192,6 +194,7 @@ pub mod test_runner {
                 let seed = case_seed(self.name, case);
                 let mut rng = StdRng::seed_from_u64(seed);
                 if let Err(e) = property(&mut rng) {
+                    // focus-lint: allow(panic-hygiene) -- panicking with the case seed IS this shim's failure-reporting contract
                     panic!(
                         "proptest '{}': case {}/{} (seed {:#x}) failed: {}",
                         self.name,

@@ -11,6 +11,8 @@
 //! but every use in this workspace only relies on *deterministic,
 //! well-distributed* streams, never on upstream-exact values.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: a source of uniform `u64`s.
 pub trait RngCore {
     /// The next 64 uniformly distributed bits.

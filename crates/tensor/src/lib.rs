@@ -32,6 +32,8 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod matmul;
 mod ops;
 mod reduce;

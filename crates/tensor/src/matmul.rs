@@ -67,6 +67,7 @@ pub mod reference {
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in 0..k {
                 let a_ik = a[i * k + kk];
+                // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
                 if a_ik != 0.0 {
                     saxpy_row(c_row, a_ik, &b[kk * n..(kk + 1) * n]);
                 }
@@ -101,6 +102,7 @@ pub mod reference {
             let b_row = &b[kk * n..(kk + 1) * n];
             for i in 0..m {
                 let a_ki = a[kk * m + i];
+                // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
                 if a_ki != 0.0 {
                     saxpy_row(&mut c[i * n..(i + 1) * n], a_ki, b_row);
                 }
@@ -149,13 +151,16 @@ fn micro_tile<const SKIP: bool>(
     // loop execute the identical arithmetic, so routing dense tiles through
     // the branch-free loop changes speed only, never bits.
     let sparse = SKIP
+        // focus-lint: allow(float-hygiene) -- exact-zero scan decides skip-vs-dense only; both paths compute identical bits
         && (0..mr).any(|r| a[a_off + r * a_stride..a_off + r * a_stride + kc].contains(&0.0));
     if sparse {
         for kk in 0..kc {
             let base = b_off + kk * b_stride;
-            let b_row: &[f32; NR] = (&b[base..base + NR]).try_into().unwrap();
+            let b_row: &[f32; NR] =
+                (&b[base..base + NR]).try_into().expect("slice is NR long by construction");
             for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
                 let av = a[a_off + r * a_stride + kk];
+                // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
                 if av != 0.0 {
                     for (o, &bv) in acc_r.iter_mut().zip(b_row) {
                         *o += av * bv;
@@ -166,7 +171,8 @@ fn micro_tile<const SKIP: bool>(
     } else {
         for kk in 0..kc {
             let base = b_off + kk * b_stride;
-            let b_row: &[f32; NR] = (&b[base..base + NR]).try_into().unwrap();
+            let b_row: &[f32; NR] =
+                (&b[base..base + NR]).try_into().expect("slice is NR long by construction");
             for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
                 let av = a[a_off + r * a_stride + kk];
                 for (o, &bv) in acc_r.iter_mut().zip(b_row) {
@@ -226,6 +232,7 @@ fn gemm_block(i0: usize, i1: usize, k: usize, n: usize, a: &[f32], b: &[f32], c_
                 let row_base = (i - i0) * n;
                 for kk in k0..k0 + kc {
                     let a_ik = a[i * k + kk];
+                    // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
                     if a_ik != 0.0 {
                         let b_row = &b[kk * n + n_full..kk * n + n];
                         let c_row = &mut c_block[row_base + n_full..row_base + n];
@@ -361,6 +368,7 @@ fn gemm_tn_block(
                     let row_base = (i - i0 + r) * n;
                     for kk in 0..kc {
                         let a_ki = a_panel[r * kc + kk];
+                        // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
                         if a_ki != 0.0 {
                             let b_row = &b[(k0 + kk) * n + n_full..(k0 + kk) * n + n];
                             let c_row = &mut c_block[row_base + n_full..row_base + n];

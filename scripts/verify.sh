@@ -17,4 +17,11 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Static-analysis pass: determinism / panic-hygiene / float-hygiene /
+# unsafe-forbid invariants (see DESIGN.md §10). The tool prints its rule and
+# finding counts so regressions are visible in CI logs, and exits nonzero on
+# any finding.
+echo "==> focus-lint crates/ src/"
+cargo run -q -p focus-lint --release -- crates/ src/
+
 echo "verify: OK"

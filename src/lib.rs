@@ -30,6 +30,8 @@
 //! assert!(m.mse().is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use focus_autograd as autograd;
 pub use focus_baselines as baselines;
 pub use focus_cluster as cluster;
