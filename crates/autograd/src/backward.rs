@@ -19,7 +19,10 @@ impl Graph {
             "backward requires a scalar loss, got shape {}",
             self.nodes[loss.0].value.shape()
         );
-        self.grads = vec![None; self.nodes.len()];
+        // Reuse the gradient arena across calls (and across `Graph::reset`):
+        // clear + resize keeps the Vec's capacity.
+        self.grads.clear();
+        self.grads.resize(self.nodes.len(), None);
         self.grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.dims(), 1.0));
 
         for i in (0..self.nodes.len()).rev() {
@@ -78,6 +81,13 @@ impl Graph {
                 let db = self.nodes[a.0].value.bmm_tn(g);
                 self.accum(a, da);
                 self.accum(b, db);
+            }
+            Op::RouteOneHot { head, indices } => {
+                // Indices are data; only the routed summaries get a gradient:
+                // dhead[b, j, :] = Σ_{i: idx=j} g[b, i, :], ascending i — the
+                // dense `Aᵀ·g` chain, without materialising A or computing dA.
+                let k = self.nodes[head.0].value.dims()[1];
+                self.accum(head, focus_tensor::route::route_scatter_add(g, &indices, k));
             }
             Op::MatmulBroadcastNt(a, x) => {
                 // out[b] = a · x[b]ᵀ, a: [k,d], x: [B,l,d], g: [B,k,l]

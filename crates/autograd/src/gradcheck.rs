@@ -239,6 +239,61 @@ mod tests {
     }
 
     #[test]
+    fn check_route_one_hot() {
+        let mut r = rng();
+        let head = Tensor::randn(&[2, 3, 4], 0.5, &mut r);
+        let indices: Vec<u32> = vec![0, 2, 1, 1, 0, 2, 2, 1, 0, 0]; // [B=2, l=5]
+        let rep = check(&[head], EPS, |g, v| {
+            let routed = g.route_one_hot(v[0], &indices, 5);
+            let sq = g.mul(routed, routed);
+            g.mean_all(sq)
+        });
+        assert!(rep.max_rel_err < TOL, "rel err {}", rep.max_rel_err);
+    }
+
+    /// The sparse routing op must be indistinguishable from the dense
+    /// one-hot `bmm` it replaces — forward and gradient, bit for bit, at
+    /// every thread count (the determinism + sparsity contract of PR 1's
+    /// kernels carried over to the index-vector fast path).
+    #[test]
+    fn route_one_hot_matches_dense_bmm_bitwise_across_threads() {
+        use focus_tensor::{par, route};
+        let mut r = rng();
+        let (b, l, k, d) = (3usize, 32usize, 6usize, 8usize);
+        let head = Tensor::randn(&[b, k, d], 0.7, &mut r);
+        let w = Tensor::randn(&[b, l, d], 0.5, &mut r);
+        let indices: Vec<u32> = (0..b * l).map(|i| ((i * 7 + 3) % k) as u32).collect();
+        let dense_a = route::one_hot_matrix(&indices, b, l, k);
+        let run = |sparse: bool| -> (Vec<f32>, Vec<f32>) {
+            let mut g = Graph::new();
+            let h = g.leaf(head.clone());
+            let wv = g.constant(w.clone());
+            let routed = if sparse {
+                g.route_one_hot(h, &indices, l)
+            } else {
+                let a = g.constant(dense_a.clone());
+                g.bmm(a, h)
+            };
+            let m = g.mul(routed, wv);
+            let loss = g.sum_all(m);
+            g.backward(loss);
+            (
+                g.value(routed).data().to_vec(),
+                g.grad(h).expect("head is a trainable leaf").data().to_vec(),
+            )
+        };
+        par::set_threads(1);
+        let (fwd_ref, grad_ref) = run(false);
+        for threads in [1usize, 2, 4] {
+            par::set_threads(threads);
+            let (fwd, grad) = run(true);
+            assert_eq!(fwd, fwd_ref, "forward diverged at {threads} threads");
+            assert_eq!(grad, grad_ref, "gradient diverged at {threads} threads");
+        }
+        par::set_threads(0);
+    }
+
+    #[test]
     fn check_composite_attention_block() {
         // A miniature ProtoAttn-shaped computation exercises op interplay.
         let mut r = rng();

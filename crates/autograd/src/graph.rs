@@ -23,6 +23,16 @@ pub(crate) enum Op {
     Matmul(Var, Var),
     /// Batched 3-D `a · b`.
     Bmm(Var, Var),
+    /// Sparse one-hot routing `A · head` carried as a `[B·l]` index vector
+    /// instead of the dense `[B, l, k]` one-hot matrix: forward is a row
+    /// gather, backward a deterministic scatter-add (ProtoAttn Eq. 18 on the
+    /// hard-assignment path).
+    RouteOneHot {
+        /// The `[B, k, d]` attention summaries being routed.
+        head: Var,
+        /// Row-major `[B, l]` prototype index per segment slot.
+        indices: Box<[u32]>,
+    },
     /// `out[b] = a · x[b]ᵀ` with a shared 2-D LHS `a: [k, d]` and a batched
     /// RHS `x: [B, l, d]`, producing `[B, k, l]`. This is the prototype-query
     /// score computation of ProtoAttn (Eq. 16) batched over entities.
@@ -77,6 +87,18 @@ impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Clears the tape for reuse, keeping the node and gradient arena
+    /// allocations.
+    ///
+    /// Per-step training loops build a fresh graph every window; resetting
+    /// instead of re-allocating lets the arenas reach steady-state capacity
+    /// once and stay there. All `Var` handles from before the reset are
+    /// invalidated.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
     }
 
     /// Number of nodes recorded so far.
@@ -182,6 +204,26 @@ impl Graph {
         let v = self.value(a).bmm(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Bmm(a, b), rg)
+    }
+
+    /// Sparse one-hot routing: `out[b, i, :] = head[b, indices[b·l + i], :]`
+    /// for `head: [B, k, d]`, producing `[B, l, d]`.
+    ///
+    /// Bitwise-equivalent to `bmm(A, head)` with the one-hot `A` the indices
+    /// stand for — forward and backward both (see `focus_tensor::route`) —
+    /// at `O(B·l·d)` instead of `O(B·l·k·d)`. The indices are data, not a
+    /// differentiable input; only `head` receives a gradient.
+    pub fn route_one_hot(&mut self, head: Var, indices: &[u32], l: usize) -> Var {
+        let v = focus_tensor::route::route_gather(self.value(head), indices, l);
+        let rg = self.rg(head);
+        self.push(
+            v,
+            Op::RouteOneHot {
+                head,
+                indices: indices.into(),
+            },
+            rg,
+        )
     }
 
     /// Broadcast score kernel: `out[b] = a · x[b]ᵀ` for 2-D `a: [k, d]` and
@@ -458,6 +500,24 @@ mod tests {
             assert!(mean.abs() < 1e-5);
             assert!((var - 1.0).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn reset_clears_state_and_tape_is_reusable() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+        let sq = g.mul(x, x);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        assert!(g.grad(x).is_some());
+        g.reset();
+        assert!(g.is_empty());
+        // A fresh pass on the reset tape behaves exactly like a new graph.
+        let y = g.leaf(Tensor::from_vec(vec![3.0], &[1]));
+        let sq = g.mul(y, y);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        assert_eq!(g.grad(y).expect("y is a trainable leaf").data(), &[6.0]);
     }
 
     #[test]

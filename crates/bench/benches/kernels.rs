@@ -134,10 +134,10 @@ fn bench_assign_all() -> Sweep {
         .fit(&segs, 1);
     let reps = 5;
 
-    // "Naive" = the per-segment serial loop assign_all replaces.
+    // "Naive" = the serial scalar per-pair sweep the GEMM path replaces.
+    par::set_threads(1);
     let naive_ns = time_ns(reps, || {
-        let out: Vec<usize> = (0..n).map(|i| protos.assign(segs.row(i))).collect();
-        black_box(out);
+        black_box(protos.assign_all_scalar(&segs));
     });
     let mut sweep = Sweep { label: "assign_all_20000x32_k64", naive_ns, tiled: Vec::new() };
     for t in sweep_threads() {

@@ -39,14 +39,13 @@ fn bench_attention_scaling(c: &mut Criterion) {
         // ProtoAttn: linear in l.
         let mut ps = ParamStore::new();
         let pa = ProtoAttn::new(&mut ps, "pa", &protos, D, &mut rng);
-        let assign = Assignment::Hard.matrix(&segments, &protos);
+        let plan = Assignment::Hard.plan(&segments, &protos);
         group.bench_with_input(BenchmarkId::new("protoattn", l), &l, |b, _| {
             b.iter(|| {
                 let mut g = Graph::new();
                 let pv = ps.register(&mut g);
                 let seg_v = g.constant(segments.clone());
-                let a_v = g.constant(assign.clone());
-                let out = pa.forward(&mut g, &pv, seg_v, a_v);
+                let out = pa.forward(&mut g, &pv, seg_v, &plan);
                 black_box(g.value(out).sum_all())
             })
         });

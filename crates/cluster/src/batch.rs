@@ -1,0 +1,298 @@
+//! Batched GEMM evaluation of the composite distance (Eq. 6).
+//!
+//! The scalar path walks every `(segment, prototype)` pair with a fused
+//! distance loop — `O(n·k·p)` flops that never touch the tiled GEMM kernels.
+//! This module restructures the same arithmetic so the bulk of the work *is*
+//! a GEMM:
+//!
+//! ```text
+//! ‖x − c‖²   = ‖x‖² − 2·x·c + ‖c‖²          (expand the square)
+//! corr(x, c) = x̂ · ĉ,   v̂ = (v − mean(v)) / ‖v − mean(v)‖
+//! ```
+//!
+//! so the full `[n, k]` distance matrix costs two tiled `X·Cᵀ` products (raw
+//! rows for the reconstruction term, centred-normalised rows for the
+//! correlation term) plus cached per-row norms and an `O(n·k)` epilogue.
+//!
+//! The GEMM path accumulates in `f32` where the scalar oracle
+//! ([`Objective::distance`]) accumulates in `f64`, so distances agree to
+//! roundoff (~1e-5 relative), not bitwise; argmin assignments agree whenever
+//! the best/second-best margin exceeds that roundoff — in particular exact
+//! ties (duplicate prototypes) resolve identically, because both paths scan
+//! prototypes in ascending index with a strict `<`. Property tests in
+//! `tests/properties.rs` pin both claims down.
+
+use crate::objective::Objective;
+use focus_tensor::{par, raw, Tensor};
+
+/// Rows of the distance matrix computed per block: bounds the live
+/// `[block, k]` scratch while keeping each GEMM big enough to tile well.
+const BLOCK_ROWS: usize = 4096;
+
+/// Minimum epilogue elements (`rows × k`) per thread before the per-row
+/// passes go parallel.
+const EPILOGUE_GRAIN: usize = 16 * 1024;
+
+/// Per-prototype data cached once per sweep: raw centers, squared norms and
+/// centred-normalised copies.
+pub(crate) struct CenterCache {
+    k: usize,
+    p: usize,
+    /// Raw centers `[k, p]` (flat copy; the cache owns its layout).
+    centers: Vec<f32>,
+    /// `‖c_j‖²` per center, f64-accumulated.
+    sq_norms: Vec<f32>,
+    /// Centred-normalised centers `ĉ: [k, p]`; constant centers become zero
+    /// rows so `x̂·ĉ = 0` reproduces the scalar convention `corr = 0`.
+    /// Empty when `alpha == 0` (the correlation GEMM is skipped entirely).
+    unit: Vec<f32>,
+    /// Correlation weight of the objective.
+    alpha: f32,
+}
+
+impl CenterCache {
+    pub(crate) fn new(centers: &Tensor, objective: &Objective) -> CenterCache {
+        assert_eq!(centers.rank(), 2, "centers must be [k, p]");
+        let (k, p) = (centers.dims()[0], centers.dims()[1]);
+        let alpha = objective.alpha();
+        let data = centers.data().to_vec();
+        let mut sq_norms = vec![0.0f32; k];
+        for (j, out) in sq_norms.iter_mut().enumerate() {
+            *out = sq_norm(&data[j * p..(j + 1) * p]);
+        }
+        let mut unit = Vec::new();
+        if alpha > 0.0 {
+            unit = vec![0.0f32; k * p];
+            for j in 0..k {
+                center_normalise(&data[j * p..(j + 1) * p], &mut unit[j * p..(j + 1) * p]);
+            }
+        }
+        CenterCache {
+            k,
+            p,
+            centers: data,
+            sq_norms,
+            unit,
+            alpha,
+        }
+    }
+}
+
+/// `‖v‖²` with f64 accumulation (cast once, like the scalar kernels).
+fn sq_norm(v: &[f32]) -> f32 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+}
+
+/// Writes `(v − mean) / ‖v − mean‖` into `out`; all-zero when `v` is
+/// (numerically) constant, matching `stats::pearson`'s zero-variance
+/// convention. Statistics accumulate in f64 like the scalar path.
+fn center_normalise(v: &[f32], out: &mut [f32]) {
+    let n = v.len() as f64;
+    let mean = v.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let sxx: f64 = v.iter().map(|&x| (x as f64 - mean) * (x as f64 - mean)).sum();
+    if sxx <= f64::EPSILON {
+        out.fill(0.0);
+        return;
+    }
+    let inv = 1.0 / sxx.sqrt();
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = ((x as f64 - mean) * inv) as f32;
+    }
+}
+
+/// Runs the blocked distance sweep over `segments: [n, p]`, invoking
+/// `visit(first_row, rows, block)` with each finished `[rows, k]` distance
+/// block (row-major, reused buffer — copy out what must outlive the call).
+fn for_each_block<F>(segments: &Tensor, cache: &CenterCache, mut visit: F)
+where
+    F: FnMut(usize, usize, &[f32]),
+{
+    assert_eq!(segments.rank(), 2, "segments must be [n, p]");
+    let (n, p) = (segments.dims()[0], segments.dims()[1]);
+    assert_eq!(p, cache.p, "segment width {p} != prototype width {}", cache.p);
+    let k = cache.k;
+    let block = BLOCK_ROWS.min(n.max(1));
+    let corr = cache.alpha > 0.0;
+
+    let mut dist = vec![0.0f32; block * k];
+    let mut dots = vec![0.0f32; if corr { block * k } else { 0 }];
+    let mut unit_rows = vec![0.0f32; if corr { block * p } else { 0 }];
+    let mut x2 = vec![0.0f32; block];
+
+    let mut r0 = 0usize;
+    while r0 < n {
+        let rows = block.min(n - r0);
+        let seg_block = &segments.data()[r0 * p..(r0 + rows) * p];
+
+        // Per-row statistics (parallel over rows; each row independent).
+        let stats_grain = EPILOGUE_GRAIN.div_ceil(p.max(1)).max(1);
+        par::parallel_fill(&mut x2[..rows], stats_grain, |range, chunk| {
+            for (i, o) in range.zip(chunk.iter_mut()) {
+                *o = sq_norm(&seg_block[i * p..(i + 1) * p]);
+            }
+        });
+        if corr {
+            par::parallel_rows(&mut unit_rows[..rows * p], p, stats_grain, 1, |row0, chunk| {
+                for (i, out) in chunk.chunks_exact_mut(p).enumerate() {
+                    center_normalise(&seg_block[(row0 + i) * p..(row0 + i + 1) * p], out);
+                }
+            });
+        }
+
+        // Reconstruction dots: X·Cᵀ on the raw rows.
+        dist[..rows * k].fill(0.0);
+        raw::gemm_nt(rows, p, k, seg_block, &cache.centers, &mut dist[..rows * k]);
+        // Correlation dots: X̂·Ĉᵀ on the centred-normalised rows.
+        if corr {
+            dots[..rows * k].fill(0.0);
+            raw::gemm_nt(rows, p, k, &unit_rows[..rows * p], &cache.unit, &mut dots[..rows * k]);
+        }
+
+        // Epilogue: d = max(‖x‖² − 2·x·c + ‖c‖², 0) + α·(1 − clamp(corr)).
+        {
+            let (x2, dots, sq_norms, alpha) = (&x2, &dots, &cache.sq_norms, cache.alpha);
+            let grain_rows = EPILOGUE_GRAIN.div_ceil(k.max(1)).max(1);
+            par::parallel_rows(&mut dist[..rows * k], k, grain_rows, 1, |row0, chunk| {
+                for (i, row) in chunk.chunks_exact_mut(k).enumerate() {
+                    let xi2 = x2[row0 + i];
+                    for (j, v) in row.iter_mut().enumerate() {
+                        let rec = (xi2 - 2.0 * *v + sq_norms[j]).max(0.0);
+                        *v = if corr {
+                            let r = dots[(row0 + i) * k + j].clamp(-1.0, 1.0);
+                            rec + alpha * (1.0 - r)
+                        } else {
+                            rec
+                        };
+                    }
+                }
+            });
+        }
+
+        visit(r0, rows, &dist[..rows * k]);
+        r0 += rows;
+    }
+}
+
+/// The full `[n, k]` composite distance matrix via the GEMM path.
+pub(crate) fn distance_matrix(segments: &Tensor, cache: &CenterCache) -> Tensor {
+    let n = segments.dims()[0];
+    let mut out = Tensor::zeros(&[n, cache.k]);
+    let k = cache.k;
+    for_each_block(segments, cache, |r0, rows, block| {
+        out.data_mut()[r0 * k..(r0 + rows) * k].copy_from_slice(block);
+    });
+    out
+}
+
+/// Nearest center per row of `segments` via the GEMM path: fills
+/// `out[i] = (argmin_j d_ij, min_j d_ij)` with the lowest-index tie-break
+/// (strict `<` over ascending `j`, exactly like the scalar oracle).
+pub(crate) fn assign_batched(segments: &Tensor, cache: &CenterCache, out: &mut [(usize, f32)]) {
+    let n = segments.dims()[0];
+    assert_eq!(out.len(), n, "output length {} != segment count {n}", out.len());
+    let k = cache.k;
+    for_each_block(segments, cache, |r0, rows, block| {
+        let grain = EPILOGUE_GRAIN.div_ceil(k.max(1)).max(1);
+        par::parallel_fill(&mut out[r0..r0 + rows], grain, |range, chunk| {
+            for (i, o) in range.zip(chunk.iter_mut()) {
+                let row = &block[i * k..(i + 1) * k];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (j, &d) in row.iter().enumerate() {
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                *o = (best, best_d);
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_case(n: usize, k: usize, p: usize, alpha: f32, seed: u64) -> (Tensor, Tensor, Objective) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let segs = Tensor::randn(&[n, p], 1.3, &mut rng);
+        let centers = Tensor::randn(&[k, p], 1.0, &mut rng);
+        let obj = if alpha > 0.0 { Objective::rec_corr(alpha) } else { Objective::RecOnly };
+        (segs, centers, obj)
+    }
+
+    #[test]
+    fn distance_matrix_matches_scalar_oracle() {
+        for &(n, k, p, alpha, seed) in &[
+            (7usize, 3usize, 5usize, 0.0f32, 1u64),
+            (64, 8, 16, 0.2, 2),
+            (130, 5, 32, 1.0, 3),
+        ] {
+            let (segs, centers, obj) = random_case(n, k, p, alpha, seed);
+            let cache = CenterCache::new(&centers, &obj);
+            let d = distance_matrix(&segs, &cache);
+            for i in 0..n {
+                for j in 0..k {
+                    let scalar = obj.distance(segs.row(i), centers.row(j));
+                    let gemm = d.at2(i, j);
+                    let tol = 1e-4 * scalar.abs().max(1.0);
+                    assert!(
+                        (gemm - scalar).abs() <= tol,
+                        "({n},{k},{p},{alpha}) d[{i},{j}]: gemm {gemm} vs scalar {scalar}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rows_follow_zero_variance_convention() {
+        // A flat segment against a flat center: rec = 0, corr defined as 0.
+        let segs = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0], &[1, 4]);
+        let centers = Tensor::from_vec(vec![2.0, 2.0, 2.0, 2.0, 0.0, 1.0, 2.0, 3.0], &[2, 4]);
+        let obj = Objective::rec_corr(0.5);
+        let cache = CenterCache::new(&centers, &obj);
+        let d = distance_matrix(&segs, &cache);
+        assert!((d.at2(0, 0) - 0.5).abs() < 1e-6, "flat-vs-flat must cost α·(1−0)");
+        let scalar = obj.distance(segs.row(0), centers.row(1));
+        assert!((d.at2(0, 1) - scalar).abs() < 1e-4 * scalar.max(1.0));
+    }
+
+    #[test]
+    fn exact_ties_resolve_to_lowest_index() {
+        // Duplicate centers produce bit-identical distance columns in both
+        // paths; the strict-< scan must pick the first.
+        let mut rng = StdRng::seed_from_u64(9);
+        let segs = Tensor::randn(&[40, 8], 1.0, &mut rng);
+        let c = Tensor::randn(&[1, 8], 1.0, &mut rng);
+        let mut dup = c.data().to_vec();
+        dup.extend_from_slice(c.data());
+        dup.extend_from_slice(c.data());
+        let centers = Tensor::from_vec(dup, &[3, 8]);
+        let cache = CenterCache::new(&centers, &Objective::rec_corr(0.2));
+        let mut out = vec![(0usize, 0.0f32); 40];
+        assign_batched(&segs, &cache, &mut out);
+        for (i, &(j, _)) in out.iter().enumerate() {
+            assert_eq!(j, 0, "segment {i} must tie-break to the lowest index");
+        }
+    }
+
+    #[test]
+    fn assign_batched_is_thread_count_invariant() {
+        let (segs, centers, obj) = random_case(257, 6, 16, 0.2, 11);
+        let cache = CenterCache::new(&centers, &obj);
+        par::set_threads(1);
+        let mut serial = vec![(0usize, 0.0f32); 257];
+        assign_batched(&segs, &cache, &mut serial);
+        for threads in [2, 4] {
+            par::set_threads(threads);
+            let mut t = vec![(0usize, 0.0f32); 257];
+            assign_batched(&segs, &cache, &mut t);
+            assert_eq!(t, serial, "{threads} threads");
+        }
+        par::set_threads(0);
+    }
+}

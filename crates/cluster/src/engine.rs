@@ -8,6 +8,7 @@
 //! until assignments stop changing or max_iters
 //! ```
 
+use crate::batch::{assign_batched, distance_matrix, CenterCache};
 use crate::objective::{corr_grad_wrt_prototype, Objective};
 use focus_tensor::{par, Tensor};
 use rand::rngs::StdRng;
@@ -159,16 +160,11 @@ impl ClusterConfig {
 
         let mut nearest = vec![(0usize, 0.0f32); n];
         for iter in 0..self.max_iters {
-            // Assignment step (Eq. 6). The per-segment nearest-prototype
-            // search is embarrassingly parallel; the f64 loss is then folded
-            // serially in ascending segment order so the trace is
-            // bitwise-identical to a fully serial run.
-            let grain = assign_grain(self.k * p);
-            par::parallel_fill(&mut nearest, grain, |range, chunk| {
-                for (i, o) in range.zip(chunk.iter_mut()) {
-                    *o = nearest_center(segments.row(i), &centers, self.k, &self.objective);
-                }
-            });
+            // Assignment step (Eq. 6) via the blocked two-GEMM kernel; the
+            // f64 loss is then folded serially in ascending segment order so
+            // the trace is identical at any thread count.
+            let cache = CenterCache::new(&centers, &self.objective);
+            assign_batched(segments, &cache, &mut nearest);
             let mut changed = 0usize;
             let mut loss = 0.0f64;
             for (slot, &(best, best_d)) in assignment.iter_mut().zip(&nearest) {
@@ -263,6 +259,10 @@ impl Prototypes {
 
     /// Index of the nearest prototype to `segment` under the fitted
     /// objective (Eq. 6) — the online assignment of Algorithm 2, line 3.
+    ///
+    /// Single segments run through the same batched GEMM kernel as
+    /// [`Prototypes::assign_all`] with `n = 1`, so one-off and bulk
+    /// assignment can never disagree.
     pub fn assign(&self, segment: &[f32]) -> usize {
         assert_eq!(
             segment.len(),
@@ -271,26 +271,49 @@ impl Prototypes {
             segment.len(),
             self.segment_len()
         );
-        nearest_center(segment, &self.centers, self.k(), &self.objective).0
+        let seg = Tensor::from_vec(segment.to_vec(), &[1, segment.len()]);
+        let mut out = [(0usize, 0.0f32)];
+        assign_batched(&seg, &CenterCache::new(&self.centers, &self.objective), &mut out);
+        out[0].0
     }
 
     /// Assigns every row of `segments: [n, p]`, returning the bucket index
     /// per segment.
     ///
-    /// Runs on the scoped thread pool for large batches; each segment's
-    /// assignment is independent, so the result is identical to a serial
-    /// [`Prototypes::assign`] loop at any thread count.
+    /// Computes the full `[n, k]` composite-distance matrix with two tiled
+    /// GEMMs (`X·Cᵀ` on raw and on centred-normalised rows — see
+    /// [`crate::batch`]) instead of a scalar pair loop. Distances agree with
+    /// [`Prototypes::assign_all_scalar`] to f32 roundoff, argmins whenever
+    /// the best/second-best margin exceeds it, and exact ties break to the
+    /// lowest index on both paths. Identical at any thread count.
     pub fn assign_all(&self, segments: &Tensor) -> Vec<usize> {
+        let n = segments.dims()[0];
+        let mut nearest = vec![(0usize, 0.0f32); n];
+        assign_batched(segments, &CenterCache::new(&self.centers, &self.objective), &mut nearest);
+        nearest.into_iter().map(|(j, _)| j).collect()
+    }
+
+    /// Scalar-oracle assignment sweep: a straight per-pair
+    /// [`Objective::distance`] loop with f64 accumulation. Kept as the
+    /// ground-truth reference for the GEMM path (property tests, benchmark
+    /// baselines); prefer [`Prototypes::assign_all`] everywhere else.
+    pub fn assign_all_scalar(&self, segments: &Tensor) -> Vec<usize> {
         assert_eq!(segments.rank(), 2, "segments must be [n, p]");
         let n = segments.dims()[0];
         let mut out = vec![0usize; n];
         let grain = assign_grain(self.k() * self.segment_len());
         par::parallel_fill(&mut out, grain, |range, chunk| {
             for (i, o) in range.zip(chunk.iter_mut()) {
-                *o = self.assign(segments.row(i));
+                *o = nearest_center(segments.row(i), &self.centers, self.k(), &self.objective).0;
             }
         });
         out
+    }
+
+    /// The full `[n, k]` composite-distance matrix from every row of
+    /// `segments` to every prototype, via the batched GEMM kernel.
+    pub fn distances(&self, segments: &Tensor) -> Tensor {
+        distance_matrix(segments, &CenterCache::new(&self.centers, &self.objective))
     }
 
     /// The distance from `segment` to its nearest prototype.

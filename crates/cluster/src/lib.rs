@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod approx;
+mod batch;
 mod engine;
 mod objective;
 mod persist;

@@ -1,6 +1,6 @@
 //! Property-based tests for the clustering engine's invariants.
 
-use focus_cluster::{segment_matrix, ClusterConfig, Objective, ProtoUpdate};
+use focus_cluster::{segment_matrix, ClusterConfig, Objective, ProtoUpdate, Prototypes};
 use focus_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -102,5 +102,81 @@ proptest! {
             prop_assert_eq!(&protos_serial.assign_all(&segs), &serial, "assign_all diverged at {} threads", threads);
         }
         focus_tensor::par::set_threads(0);
+    }
+
+    #[test]
+    fn gemm_distances_match_scalar_oracle(
+        segs in segments(37, 9),
+        centers in segments(5, 9),
+        alpha in 0.0f32..1.0,
+    ) {
+        // The batched two-GEMM distance kernel (‖x‖² − 2x·c + ‖c‖² plus the
+        // normalised-dot correlation term) must agree with the scalar
+        // per-pair oracle to f32 roundoff, and pick the same argmin whenever
+        // the scalar best/second-best margin exceeds that roundoff.
+        let objective = if alpha < 0.05 { Objective::RecOnly } else { Objective::rec_corr(alpha) };
+        let protos = Prototypes::from_centers(centers, objective);
+        let d = protos.distances(&segs);
+        let assigned = protos.assign_all(&segs);
+        for (i, &assigned_i) in assigned.iter().enumerate() {
+            let mut scalar = [0.0f32; 5];
+            for (j, s) in scalar.iter_mut().enumerate() {
+                *s = objective.distance(segs.row(i), protos.centers().row(j));
+            }
+            let mut tol_max = 0.0f32;
+            for (j, &s) in scalar.iter().enumerate() {
+                let tol = 1e-4 * s.abs().max(1.0);
+                tol_max = tol_max.max(tol);
+                prop_assert!(
+                    (d.at2(i, j) - s).abs() <= tol,
+                    "d[{i},{j}] gemm {} vs scalar {s}", d.at2(i, j)
+                );
+            }
+            let best = (0..5).min_by(|&a, &b| scalar[a].partial_cmp(&scalar[b]).unwrap()).unwrap();
+            let runner_up = (0..5)
+                .filter(|&j| j != best)
+                .map(|j| scalar[j] - scalar[best])
+                .fold(f32::INFINITY, f32::min);
+            if runner_up > 2.0 * tol_max {
+                prop_assert_eq!(
+                    assigned_i, best,
+                    "row {} (margin {}): gemm argmin diverged from scalar", i, runner_up
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_and_scalar_sweeps_agree_on_separated_data(shift in 2.0f32..6.0, seed in 0u64..1 << 16) {
+        // On data with real cluster structure (no engineered near-ties) the
+        // GEMM sweep and the scalar oracle sweep must assign identically.
+        let mut data = Vec::new();
+        for c in 0..4 {
+            for s in 0..24 {
+                for t in 0..8 {
+                    let wobble = ((seed as f32 + (s * 8 + t) as f32) * 0.37).sin() * 0.3;
+                    data.push(c as f32 * shift + wobble);
+                }
+            }
+        }
+        let segs = Tensor::from_vec(data, &[96, 8]);
+        let protos = ClusterConfig::new(4, 8).with_max_iters(6).fit(&segs, seed);
+        prop_assert_eq!(protos.assign_all(&segs), protos.assign_all_scalar(&segs));
+    }
+
+    #[test]
+    fn duplicate_prototypes_tie_break_to_lowest_index(segs in segments(20, 6)) {
+        // Bit-identical distance columns (duplicated centers) must resolve to
+        // the lowest index on both the GEMM and the scalar path.
+        let proto_row: Vec<f32> = segs.row(0).to_vec();
+        let mut stacked = Vec::new();
+        for _ in 0..3 {
+            stacked.extend_from_slice(&proto_row);
+        }
+        let protos = Prototypes::from_centers(Tensor::from_vec(stacked, &[3, 6]), Objective::rec_corr(0.2));
+        let gemm = protos.assign_all(&segs);
+        let scalar = protos.assign_all_scalar(&segs);
+        prop_assert!(gemm.iter().all(|&j| j == 0), "gemm path broke the tie upward: {gemm:?}");
+        prop_assert_eq!(gemm, scalar);
     }
 }

@@ -170,8 +170,8 @@ impl FocusAblation {
     fn extract(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> (Var, Var) {
         match &self.extract {
             Extract::Proto(ext) => {
-                let a_t = ext.assignments(x_norm);
-                ext.forward(g, pv, x_norm, &a_t)
+                let routing = ext.routing(x_norm);
+                ext.forward(g, pv, x_norm, &routing)
             }
             Extract::Attn {
                 embed,

@@ -16,7 +16,7 @@
 //! residual path — is used here (this is also what PatchTST does with its
 //! patch embedding).
 
-use crate::protoattn::{Assignment, ProtoAttn};
+use crate::protoattn::{Assignment, ProtoAttn, RoutingPlan};
 use focus_autograd::{Graph, ParamId, ParamStore, ParamVars, Var};
 use focus_cluster::Prototypes;
 use focus_nn::{init, CostReport, LayerNorm, Linear};
@@ -202,12 +202,19 @@ impl DualBranchExtractor {
         &self.temporal
     }
 
-    /// Computes the temporal assignment matrix `A_t: [N, l, k]` for a window
-    /// `x: [N, L]` (the entity branch reuses it with axes swapped, since both
-    /// views contain the same segments).
-    pub fn assignments(&self, x: &Tensor) -> Tensor {
+    /// Computes the temporal routing plan for a window `x: [N, L]` (the
+    /// entity branch reuses it with axes swapped, since both views contain
+    /// the same segments). Hard assignment stays sparse end to end.
+    pub fn routing(&self, x: &Tensor) -> RoutingPlan {
         let segs = self.segment_view(x);
-        self.assignment.matrix(&segs, &self.prototypes)
+        self.assignment.plan(&segs, &self.prototypes)
+    }
+
+    /// The dense temporal assignment matrix `A_t: [N, l, k]` — kept for the
+    /// Fig. 13 dependency matrix and diagnostics; the forward path uses
+    /// [`DualBranchExtractor::routing`].
+    pub fn assignments(&self, x: &Tensor) -> Tensor {
+        self.routing(x).to_matrix()
     }
 
     /// Reshapes a window `[N, L]` into the temporal segment view `[N, l, p]`.
@@ -219,42 +226,41 @@ impl DualBranchExtractor {
         x.reshape(&[n, len / p, p])
     }
 
-    /// Runs both branches on window `x: [N, L]` with precomputed temporal
-    /// assignments `a_t: [N, l, k]`, returning `(H_t, H_e)`, each `[N, l, d]`.
+    /// Runs both branches on window `x: [N, L]` with the precomputed
+    /// temporal routing plan, returning `(H_t, H_e)`, each `[N, l, d]`.
     pub fn forward(
         &self,
         g: &mut Graph,
         pv: &ParamVars,
         x: &Tensor,
-        a_t: &Tensor,
+        routing: &RoutingPlan,
     ) -> (Var, Var) {
         let segs_t = self.segment_view(x); // [N, l, p]
         let p_t = g.constant(segs_t);
-        let at_v = g.constant(a_t.clone());
 
         // Shared input embedding provides the residual path.
         let emb_t = self.embed.forward(g, pv, p_t); // [N, l, d]
 
         // Temporal branch.
-        let attn_t = self.temporal.forward(g, pv, p_t, at_v);
+        let attn_t = self.temporal.forward(g, pv, p_t, routing);
         let sum_t = g.add(attn_t, emb_t);
         let mut h_t = self.ln_t.forward(g, pv, sum_t); // [N, l, d]
         for layer in &self.temporal_stack {
-            let refined = layer.attn.forward(g, pv, h_t, at_v);
+            let refined = layer.attn.forward(g, pv, h_t, routing);
             let sum = g.add(refined, h_t);
             h_t = layer.ln.forward(g, pv, sum);
         }
 
         // Entity branch: same segments viewed as [l, N, p] with swapped
-        // assignments.
+        // routing (a pure index permutation on the hard path).
+        let routing_e = routing.swap01(); // [l, N, k]
         let p_e = g.swap_axes01(p_t); // [l, N, p]
-        let ae_v = g.swap_axes01(at_v); // [l, N, k]
         let emb_e = g.swap_axes01(emb_t); // [l, N, d] (embedding is pointwise per segment)
-        let attn_e = self.entity.forward(g, pv, p_e, ae_v);
+        let attn_e = self.entity.forward(g, pv, p_e, &routing_e);
         let sum_e = g.add(attn_e, emb_e);
         let mut h_e_raw = self.ln_e.forward(g, pv, sum_e); // [l, N, d]
         for layer in &self.entity_stack {
-            let refined = layer.attn.forward(g, pv, h_e_raw, ae_v);
+            let refined = layer.attn.forward(g, pv, h_e_raw, &routing_e);
             let sum = g.add(refined, h_e_raw);
             h_e_raw = layer.ln.forward(g, pv, sum);
         }
@@ -311,11 +317,12 @@ mod tests {
     #[test]
     fn forward_produces_aligned_branches() {
         let (ps, ext, x) = fixture();
-        let a_t = ext.assignments(&x);
-        assert_eq!(a_t.dims(), &[4, 4, 3]);
+        let routing = ext.routing(&x);
+        assert_eq!(routing.dims(), (4, 4, 3));
+        assert_eq!(ext.assignments(&x).dims(), &[4, 4, 3]);
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
-        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &routing);
         assert_eq!(g.value(h_t).dims(), &[4, 4, 6]);
         assert_eq!(g.value(h_e).dims(), &[4, 4, 6]);
         assert!(g.value(h_t).all_finite());
@@ -327,10 +334,10 @@ mod tests {
         // Temporal and entity branches have separate parameters and views,
         // so their features should not coincide.
         let (ps, ext, x) = fixture();
-        let a_t = ext.assignments(&x);
+        let routing = ext.routing(&x);
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
-        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &routing);
         let diff = g.value(h_t).max_abs_diff(g.value(h_e));
         assert!(diff > 1e-3, "branches coincide (diff {diff})");
     }
@@ -374,10 +381,10 @@ mod tests {
         assert!(three.cost(4, 4).flops > one.cost(4, 4).flops);
         assert!(ps3.scalar_count() > ps1.scalar_count());
 
-        let a_t = three.assignments(&x);
+        let routing = three.routing(&x);
         let mut g = Graph::new();
         let pv = ps3.register(&mut g);
-        let (h_t, h_e) = three.forward(&mut g, &pv, &x, &a_t);
+        let (h_t, h_e) = three.forward(&mut g, &pv, &x, &routing);
         assert_eq!(g.value(h_t).dims(), &[4, 4, 6]);
         assert!(g.value(h_t).all_finite() && g.value(h_e).all_finite());
         // Params accounted analytically must match the store.
@@ -387,11 +394,11 @@ mod tests {
     #[test]
     fn full_gradient_flow() {
         let (mut ps, ext, x) = fixture();
-        let a_t = ext.assignments(&x);
+        let routing = ext.routing(&x);
         let mut opt = focus_autograd::AdamW::new(0.01, 0.0);
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
-        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &a_t);
+        let (h_t, h_e) = ext.forward(&mut g, &pv, &x, &routing);
         let s = g.add(h_t, h_e);
         let sq = g.mul(s, s);
         let loss = g.mean_all(sq);

@@ -155,12 +155,15 @@ pub trait Forecaster {
         let mut val_losses = Vec::new();
         let mut best: Option<(usize, f64, Vec<focus_tensor::Tensor>)> = None;
         let mut stale = 0usize;
+        // One tape for the whole run: `reset` keeps the node/grad capacity,
+        // so steady-state steps stop paying per-window tape reallocation.
+        let mut g = Graph::new();
         for epoch in 0..opts.epochs {
             let mut total = 0.0f64;
             for w in &windows {
                 let (x_norm, stats) = instance_norm(&w.x);
                 let y_norm = normalise_target(&w.y, &stats);
-                let mut g = Graph::new();
+                g.reset();
                 let pv = self.params().register(&mut g);
                 let pred = self.forward_window(&mut g, &pv, &x_norm);
                 let target = g.constant(y_norm);

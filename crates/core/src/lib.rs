@@ -48,4 +48,4 @@ pub mod tune;
 pub use ablation::{AblationVariant, FocusAblation};
 pub use forecaster::{Forecaster, Loss, TrainOptions, TrainReport};
 pub use model::{Focus, FocusConfig};
-pub use protoattn::{Assignment, ProtoAttn};
+pub use protoattn::{Assignment, ProtoAttn, RoutingPlan};

@@ -216,8 +216,8 @@ impl Forecaster for Focus {
             x_norm.dims()[1],
             self.cfg.lookback
         );
-        let a_t = self.extractor.assignments(x_norm);
-        let (h_t, h_e) = self.extractor.forward(g, pv, x_norm, &a_t);
+        let routing = self.extractor.routing(x_norm);
+        let (h_t, h_e) = self.extractor.forward(g, pv, x_norm, &routing);
         self.fusion.forward(g, pv, h_t, h_e)
     }
 

@@ -34,54 +34,162 @@ pub enum Assignment {
     },
 }
 
-impl Assignment {
-    /// Builds the assignment matrix `A: [B, l, k]` for `segments: [B, l, p]`
-    /// against the offline prototypes (Algorithm 2, lines 1–4).
-    ///
-    /// This runs outside the autograd graph: `A` is data, not a trainable
-    /// quantity.
-    pub fn matrix(&self, segments: &Tensor, prototypes: &Prototypes) -> Tensor {
-        assert_eq!(segments.rank(), 3, "segments must be [B, l, p]");
-        let (b, l, p) = (segments.dims()[0], segments.dims()[1], segments.dims()[2]);
-        assert_eq!(
-            p,
-            prototypes.segment_len(),
-            "segment length {p} != prototype length {}",
-            prototypes.segment_len()
-        );
-        let k = prototypes.k();
-        let mut a = Tensor::zeros(&[b, l, k]);
-        for bi in 0..b {
-            for i in 0..l {
-                let seg = &segments.data()[(bi * l + i) * p..(bi * l + i + 1) * p];
-                match self {
-                    Assignment::Hard => {
-                        let j = prototypes.assign(seg);
-                        a.data_mut()[(bi * l + i) * k + j] = 1.0;
-                    }
-                    Assignment::Soft { temperature } => {
-                        let t = temperature.max(1e-4);
-                        let row = &mut a.data_mut()[(bi * l + i) * k..(bi * l + i + 1) * k];
-                        let mut max = f32::NEG_INFINITY;
-                        for (j, slot) in row.iter_mut().enumerate() {
-                            let d = prototypes.objective().distance(seg, prototypes.centers().row(j));
-                            *slot = -d / t;
-                            max = max.max(*slot);
-                        }
-                        let mut sum = 0.0;
-                        for slot in row.iter_mut() {
-                            *slot = (*slot - max).exp();
-                            sum += *slot;
-                        }
-                        for slot in row.iter_mut() {
-                            *slot /= sum;
-                        }
-                    }
-                }
+/// A precomputed routing decision for ProtoAttn forwards.
+///
+/// Hard assignment is carried as a flat prototype-index vector: the forward
+/// pass gathers each segment's prototype summary (`O(B·l·d)`) instead of
+/// multiplying by a materialised `[B, l, k]` one-hot matrix
+/// (`O(B·l·k·d)` plus a wasted `O(B·l·k·d)` backward for the constant
+/// matrix's gradient). Soft assignment keeps the dense mixture matrix.
+#[derive(Clone, Debug)]
+pub enum RoutingPlan {
+    /// One-hot routing as `indices[bi·l + i] = j` — the dense matrix is
+    /// never built on this path.
+    Hard {
+        /// Assigned prototype per segment slot, `[B·l]`.
+        indices: Vec<u32>,
+        /// Batch size `B`.
+        b: usize,
+        /// Segments per batch element `l`.
+        l: usize,
+        /// Number of prototypes `k`.
+        k: usize,
+    },
+    /// Dense soft-mixture routing.
+    Soft {
+        /// The mixture matrix `[B, l, k]`; rows are distributions.
+        matrix: Tensor,
+    },
+}
+
+impl RoutingPlan {
+    /// The `(B, l, k)` routing dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match self {
+            RoutingPlan::Hard { b, l, k, .. } => (*b, *l, *k),
+            RoutingPlan::Soft { matrix } => {
+                let d = matrix.dims();
+                (d[0], d[1], d[2])
             }
         }
-        a
     }
+
+    /// Materialises the dense `[B, l, k]` assignment matrix (diagnostics,
+    /// the Fig. 13 dependency matrix, tests).
+    pub fn to_matrix(&self) -> Tensor {
+        match self {
+            RoutingPlan::Hard { indices, b, l, k } => {
+                focus_tensor::route::one_hot_matrix(indices, *b, *l, *k)
+            }
+            RoutingPlan::Soft { matrix } => matrix.clone(),
+        }
+    }
+
+    /// The routing for the axes-swapped view `[l, B, ·]` used by the entity
+    /// branch — a pure index permutation on the hard path.
+    pub fn swap01(&self) -> RoutingPlan {
+        match self {
+            RoutingPlan::Hard { indices, b, l, k } => {
+                let mut swapped = vec![0u32; indices.len()];
+                for bi in 0..*b {
+                    for i in 0..*l {
+                        swapped[i * b + bi] = indices[bi * l + i];
+                    }
+                }
+                RoutingPlan::Hard {
+                    indices: swapped,
+                    b: *l,
+                    l: *b,
+                    k: *k,
+                }
+            }
+            RoutingPlan::Soft { matrix } => {
+                let (b, l, k) = (matrix.dims()[0], matrix.dims()[1], matrix.dims()[2]);
+                let mut out = Tensor::zeros(&[l, b, k]);
+                for bi in 0..b {
+                    for i in 0..l {
+                        out.data_mut()[(i * b + bi) * k..(i * b + bi + 1) * k]
+                            .copy_from_slice(&matrix.data()[(bi * l + i) * k..(bi * l + i + 1) * k]);
+                    }
+                }
+                RoutingPlan::Soft { matrix: out }
+            }
+        }
+    }
+}
+
+impl Assignment {
+    /// Nearest-prototype index per segment slot of `segments: [B, l, p]`,
+    /// flat `[B·l]` — the sparse form of the hard one-hot matrix, computed
+    /// with the batched GEMM assignment kernel.
+    pub fn indices(segments: &Tensor, prototypes: &Prototypes) -> Vec<u32> {
+        let (b, l, p) = check_segments(segments, prototypes);
+        prototypes
+            .assign_all(&segments.reshape(&[b * l, p]))
+            .into_iter()
+            .map(|j| j as u32)
+            .collect()
+    }
+
+    /// Builds the routing plan for `segments: [B, l, p]` against the offline
+    /// prototypes (Algorithm 2, lines 1–4).
+    ///
+    /// This runs outside the autograd graph: routing is data, not a
+    /// trainable quantity. Both variants evaluate Eq. 6 through the batched
+    /// GEMM distance kernel rather than a per-pair scalar loop.
+    pub fn plan(&self, segments: &Tensor, prototypes: &Prototypes) -> RoutingPlan {
+        let (b, l, p) = check_segments(segments, prototypes);
+        let k = prototypes.k();
+        match self {
+            Assignment::Hard => RoutingPlan::Hard {
+                indices: Assignment::indices(segments, prototypes),
+                b,
+                l,
+                k,
+            },
+            Assignment::Soft { temperature } => {
+                let t = temperature.max(1e-4);
+                let mut d = prototypes.distances(&segments.reshape(&[b * l, p]));
+                for row in d.data_mut().chunks_exact_mut(k) {
+                    let mut max = f32::NEG_INFINITY;
+                    for slot in row.iter_mut() {
+                        *slot = -*slot / t;
+                        max = max.max(*slot);
+                    }
+                    let mut sum = 0.0;
+                    for slot in row.iter_mut() {
+                        *slot = (*slot - max).exp();
+                        sum += *slot;
+                    }
+                    for slot in row.iter_mut() {
+                        *slot /= sum;
+                    }
+                }
+                d.reshape_in_place(&[b, l, k]);
+                RoutingPlan::Soft { matrix: d }
+            }
+        }
+    }
+
+    /// The dense assignment matrix `A: [B, l, k]` — [`Assignment::plan`]
+    /// materialised, kept for diagnostics and the dependency matrix.
+    pub fn matrix(&self, segments: &Tensor, prototypes: &Prototypes) -> Tensor {
+        self.plan(segments, prototypes).to_matrix()
+    }
+}
+
+/// Validates `segments: [B, l, p]` against the prototype set, returning
+/// `(B, l, p)`.
+fn check_segments(segments: &Tensor, prototypes: &Prototypes) -> (usize, usize, usize) {
+    assert_eq!(segments.rank(), 3, "segments must be [B, l, p]");
+    let (b, l, p) = (segments.dims()[0], segments.dims()[1], segments.dims()[2]);
+    assert_eq!(
+        p,
+        prototypes.segment_len(),
+        "segment length {p} != prototype length {}",
+        prototypes.segment_len()
+    );
+    (b, l, p)
 }
 
 /// The ProtoAttn block: learnable projections around a fixed prototype set.
@@ -146,17 +254,21 @@ impl ProtoAttn {
         self.prototypes.dims()[1]
     }
 
-    /// Applies ProtoAttn to `segments: [B, l, kv_dim]` with assignment
-    /// matrix `assign: [B, l, k]`, returning `[B, l, d]` (Algorithm 2).
-    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, segments: Var, assign: Var) -> Var {
+    /// Applies ProtoAttn to `segments: [B, l, kv_dim]` under `routing`,
+    /// returning `[B, l, d]` (Algorithm 2).
+    ///
+    /// Hard routing gathers each segment's prototype summary through the
+    /// sparse `RouteOneHot` op; soft routing multiplies by the dense mixture
+    /// matrix. The hard path is bitwise-identical to the dense one-hot
+    /// `bmm` at any thread count (see `focus_tensor::route`).
+    pub fn forward(&self, g: &mut Graph, pv: &ParamVars, segments: Var, routing: &RoutingPlan) -> Var {
         let dims = g.value(segments).dims().to_vec();
         assert_eq!(dims.len(), 3, "ProtoAttn expects [B, l, kv_dim] inputs");
         assert_eq!(dims[2], self.kv_dim, "ProtoAttn input width mismatch");
-        let adims = g.value(assign).dims().to_vec();
         assert_eq!(
-            adims,
-            vec![dims[0], dims[1], self.k()],
-            "assignment matrix must be [B, l, k]"
+            routing.dims(),
+            (dims[0], dims[1], self.k()),
+            "routing plan must cover [B, l, k]"
         );
 
         let c = g.constant(self.prototypes.clone());
@@ -167,7 +279,13 @@ impl ProtoAttn {
         let scaled = g.scale(scores, 1.0 / (self.d as f32).sqrt());
         let alpha = g.softmax_last(scaled); // [B, k, l]
         let head = g.bmm(alpha, values); // [B, k, d]
-        g.bmm(assign, head) // [B, l, d]
+        match routing {
+            RoutingPlan::Hard { indices, l, .. } => g.route_one_hot(head, indices, *l),
+            RoutingPlan::Soft { matrix } => {
+                let a = g.constant(matrix.clone());
+                g.bmm(a, head) // [B, l, d]
+            }
+        }
     }
 
     /// The learned long-range dependency matrix `A · α ∈ [B, l, l]` of
@@ -201,20 +319,28 @@ impl ProtoAttn {
         // Prototype queries are computed once per forward (shared over batch).
         let proto_proj = self.w_e.cost(k);
         let kv_proj = self.w_k.cost(b * l) + self.w_v.cost(b * l);
-        // scores (k·l·d), softmax, context (k·l·d), routing A·head (l·k·d).
-        // Live activations: the [b, k, l] score matrix and the [b, l, d]
-        // routed output.
+        // scores (k·l·d) and context (k·l·d) GEMMs, softmax, then sparse
+        // one-hot routing: an O(l·d) gather instead of the dense
+        // [l, k]·[k, d] bmm (and no wasted backward through a constant
+        // one-hot). Live activations: the [b, k, l] score matrix and the
+        // [b, l, d] routed output.
         let attn = CostReport {
-            flops: 2 * (3 * b * k * l * self.d) as u64 + 5 * (b * k * l) as u64,
+            flops: 2 * (2 * b * k * l * self.d) as u64
+                + 5 * (b * k * l) as u64
+                + (b * l * self.d) as u64,
             params: 0,
             peak_mem_bytes: ((b * k * l).max(b * l * self.d) * 4) as u64,
         };
-        // Assignment: l segments × k prototypes × p-length distance. The
-        // distances are streamed; only the one-hot [b, l, k] matrix is live.
+        // Assignment via the batched two-GEMM distance kernel: 2·(2·l·k·p)
+        // GEMM flops plus centring/normalisation (~6·l·p) and the distance
+        // epilogue (~4·l·k). Live scratch is two [block, k] distance tiles
+        // plus the flat index vector — the [b, l, k] one-hot is never
+        // materialised on the hard path.
+        let block = (b * l).min(4096);
         let assign = CostReport {
-            flops: 3 * (b * l * k * p) as u64,
+            flops: (4 * b * l * k * p + 6 * b * l * p + 4 * b * l * k) as u64,
             params: 0,
-            peak_mem_bytes: (b * l * k * 4) as u64,
+            peak_mem_bytes: (2 * block * k * 4 + b * l * 4) as u64,
         };
         proto_proj + kv_proj + attn + assign
     }
@@ -283,12 +409,11 @@ mod tests {
             ],
             &[1, 3, 4],
         );
-        let a = Assignment::Hard.matrix(&segs, &protos);
+        let plan = Assignment::Hard.plan(&segs, &protos);
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
         let seg_v = g.constant(segs);
-        let a_v = g.constant(a);
-        let out = pa.forward(&mut g, &pv, seg_v, a_v);
+        let out = pa.forward(&mut g, &pv, seg_v, &plan);
         assert_eq!(g.value(out).dims(), &[1, 3, 8]);
         let row0: Vec<f32> = (0..8).map(|j| g.value(out).at3(0, 0, j)).collect();
         let row2: Vec<f32> = (0..8).map(|j| g.value(out).at3(0, 2, j)).collect();
@@ -302,12 +427,11 @@ mod tests {
         let mut ps = ParamStore::new();
         let pa = ProtoAttn::new(&mut ps, "pa", &protos, 4, &mut rng);
         let segs = Tensor::randn(&[2, 3, 4], 1.0, &mut rng);
-        let a = Assignment::Hard.matrix(&segs, &protos);
+        let plan = Assignment::Hard.plan(&segs, &protos);
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
         let seg_v = g.constant(segs);
-        let a_v = g.constant(a);
-        let out = pa.forward(&mut g, &pv, seg_v, a_v);
+        let out = pa.forward(&mut g, &pv, seg_v, &plan);
         let sq = g.mul(out, out);
         let loss = g.mean_all(sq);
         g.backward(loss);
@@ -317,6 +441,77 @@ mod tests {
             let grad = g.grad(pv.var(id));
             assert!(grad.is_some(), "{name} has no gradient");
         }
+    }
+
+    #[test]
+    fn hard_plan_indices_agree_with_dense_matrix() {
+        let protos = proto_fixture();
+        let mut rng = StdRng::seed_from_u64(11);
+        let segs = Tensor::randn(&[3, 5, 4], 1.0, &mut rng);
+        let plan = Assignment::Hard.plan(&segs, &protos);
+        let dense = plan.to_matrix();
+        let RoutingPlan::Hard { ref indices, b, l, k } = plan else {
+            panic!("hard assignment must produce a Hard plan");
+        };
+        assert_eq!((b, l, k), (3, 5, 2));
+        assert_eq!(indices.len(), 15);
+        for bi in 0..3 {
+            for i in 0..5 {
+                for j in 0..2 {
+                    let expect = if indices[bi * 5 + i] as usize == j { 1.0 } else { 0.0 };
+                    assert_eq!(dense.at3(bi, i, j), expect);
+                }
+            }
+        }
+        // swap01 permutes indices exactly like a dense axis swap.
+        let swapped = plan.swap01();
+        let RoutingPlan::Hard { indices: ref si, b: sb, l: sl, .. } = swapped else {
+            panic!("swap01 must stay hard");
+        };
+        assert_eq!((sb, sl), (5, 3));
+        for bi in 0..3 {
+            for i in 0..5 {
+                assert_eq!(si[i * 3 + bi], indices[bi * 5 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_routing_matches_dense_bmm_forward_and_backward() {
+        // The hard path (RouteOneHot gather) must be bitwise-identical to
+        // routing through the materialised one-hot matrix — outputs and
+        // parameter gradients alike.
+        let mut rng = StdRng::seed_from_u64(12);
+        let protos = proto_fixture();
+        let mut ps = ParamStore::new();
+        let pa = ProtoAttn::new(&mut ps, "pa", &protos, 8, &mut rng);
+        let segs = Tensor::randn(&[2, 6, 4], 1.0, &mut rng);
+        let hard = Assignment::Hard.plan(&segs, &protos);
+        let dense = RoutingPlan::Soft { matrix: hard.to_matrix() };
+
+        let run = |routing: &RoutingPlan| {
+            let mut g = Graph::new();
+            let pv = ps.register(&mut g);
+            let seg_v = g.constant(segs.clone());
+            let out = pa.forward(&mut g, &pv, seg_v, routing);
+            let sq = g.mul(out, out);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            let grads: Vec<Vec<f32>> = ps
+                .iter()
+                .map(|(id, name, _)| {
+                    g.grad(pv.var(id))
+                        .unwrap_or_else(|| panic!("{name} has no gradient"))
+                        .data()
+                        .to_vec()
+                })
+                .collect();
+            (g.value(out).data().to_vec(), grads)
+        };
+        let (out_sparse, grads_sparse) = run(&hard);
+        let (out_dense, grads_dense) = run(&dense);
+        assert_eq!(out_sparse, out_dense, "forward diverged");
+        assert_eq!(grads_sparse, grads_dense, "parameter gradients diverged");
     }
 
     #[test]

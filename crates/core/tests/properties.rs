@@ -68,12 +68,12 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(9);
         let mut ps = ParamStore::new();
         let pa = ProtoAttn::new(&mut ps, "pa", &protos, 8, &mut rng);
-        let a = Assignment::Hard.matrix(&segs, &protos);
+        let plan = Assignment::Hard.plan(&segs, &protos);
+        let a = plan.to_matrix();
         let mut g = Graph::new();
         let pv = ps.register(&mut g);
         let seg_v = g.constant(segs.clone());
-        let a_v = g.constant(a.clone());
-        let out = pa.forward(&mut g, &pv, seg_v, a_v);
+        let out = pa.forward(&mut g, &pv, seg_v, &plan);
         let assigned: Vec<usize> = (0..6)
             .map(|i| (0..K).position(|j| a.at3(0, i, j) == 1.0).unwrap())
             .collect();
@@ -99,12 +99,11 @@ proptest! {
         let pa = ProtoAttn::new(&mut ps, "pa", &protos, 6, &mut rng);
 
         let run = |input: &Tensor| -> Tensor {
-            let a = Assignment::Hard.matrix(input, &protos);
+            let plan = Assignment::Hard.plan(input, &protos);
             let mut g = Graph::new();
             let pv = ps.register(&mut g);
             let seg_v = g.constant(input.clone());
-            let a_v = g.constant(a);
-            let out = pa.forward(&mut g, &pv, seg_v, a_v);
+            let out = pa.forward(&mut g, &pv, seg_v, &plan);
             g.value(out).clone()
         };
 

@@ -41,9 +41,10 @@ mod shape;
 mod tensor;
 
 pub mod par;
+pub mod route;
 pub mod stats;
 
-pub use matmul::reference;
+pub use matmul::{raw, reference};
 
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -385,6 +385,29 @@ fn gemm_tn_block(
     }
 }
 
+pub mod raw {
+    //! Raw-slice entry points to the dispatched kernels.
+    //!
+    //! These run the same reference→tiled→parallel dispatch as the [`Tensor`]
+    //! methods but accumulate into a caller-owned buffer, so batched sweeps
+    //! (e.g. the clustering distance matrix) can reuse one scratch allocation
+    //! across blocks. Like the reference kernels, they **accumulate** into
+    //! `c` — zero it first for a plain product.
+    //!
+    //! [`Tensor`]: crate::Tensor
+
+    /// `c[m×n] += a[m×k] · (b[n×k])ᵀ`, all row-major slices.
+    ///
+    /// # Panics
+    /// If a slice length disagrees with its shape.
+    pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "gemm_nt lhs length");
+        assert_eq!(b.len(), n * k, "gemm_nt rhs length");
+        assert_eq!(c.len(), m * n, "gemm_nt out length");
+        super::gemm_dispatch(super::Kind::Nt, m, k, n, a, b, c);
+    }
+}
+
 /// Which optimised block kernel to run per output row block.
 #[derive(Clone, Copy)]
 enum Kind {

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --workspace --examples --benches"
+cargo build --release --workspace --examples --benches
+
 echo "==> cargo test -q"
 cargo test -q
 
