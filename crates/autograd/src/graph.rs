@@ -23,6 +23,9 @@ pub(crate) enum Op {
     Matmul(Var, Var),
     /// Batched 3-D `a · b`.
     Bmm(Var, Var),
+    /// Batched 3-D `a · bᵀ` without materialising the transpose:
+    /// `[B, m, k] · [B, n, k]ᵀ → [B, m, n]`.
+    BmmNt(Var, Var),
     /// Sparse one-hot routing `A · head` carried as a `[B·l]` index vector
     /// instead of the dense `[B, l, k]` one-hot matrix: forward is a row
     /// gather, backward a deterministic scatter-add (ProtoAttn Eq. 18 on the
@@ -47,12 +50,12 @@ pub(crate) enum Op {
     AddRowBroadcast(Var, Var),
     SoftmaxLast(Var),
     /// LayerNorm over the trailing axis with affine `gamma`/`beta`.
-    /// `cache` stores `[mean_0..mean_{rows-1}, rstd_0..rstd_{rows-1}]`.
+    /// `cache` is a `[rows, 2]` tensor of interleaved `(mean, rstd)` per row.
     LayerNormLast {
         x: Var,
         gamma: Var,
         beta: Var,
-        cache: Box<[f32]>,
+        cache: Tensor,
     },
     Relu(Var),
     Gelu(Var),
@@ -206,6 +209,16 @@ impl Graph {
         self.push(v, Op::Bmm(a, b), rg)
     }
 
+    /// Batched product against a transposed RHS, `[B, m, k] · [B, n, k]ᵀ →
+    /// [B, m, n]`, reading `b` in its stored layout — use instead of
+    /// `transpose_last2` + [`Graph::bmm`] (same result, no transposed copy
+    /// on the tape and no `TransposeLast2` backward step).
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm_nt(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BmmNt(a, b), rg)
+    }
+
     /// Sparse one-hot routing: `out[b, i, :] = head[b, indices[b·l + i], :]`
     /// for `head: [B, k, d]`, producing `[B, l, d]`.
     ///
@@ -237,10 +250,26 @@ impl Graph {
         let (bsz, l, d2) = (xt.dims()[0], xt.dims()[1], xt.dims()[2]);
         assert_eq!(d, d2, "matmul_broadcast_nt inner dims: {d} vs {d2}");
         let mut out = Tensor::zeros(&[bsz, k, l]);
-        for b in 0..bsz {
-            let slice = xt.index_axis0(b);
-            let s = at.matmul_nt(&slice);
-            out.data_mut()[b * k * l..(b + 1) * k * l].copy_from_slice(s.data());
+        if crate::fused_enabled() {
+            // One batched sweep straight over slices of `x` and `out` — no
+            // per-batch index copy, no result temporary, shared packing
+            // scratch across batches. Bitwise-identical to the reference
+            // loop: same kernel, same zeroed destination.
+            focus_tensor::raw::gemm_nt_bcast(
+                bsz,
+                k,
+                d,
+                l,
+                at.data(),
+                xt.data(),
+                out.data_mut(),
+            );
+        } else {
+            for b in 0..bsz {
+                let slice = xt.index_axis0(b);
+                let s = at.matmul_nt(&slice);
+                out.data_mut()[b * k * l..(b + 1) * k * l].copy_from_slice(s.data());
+            }
         }
         let rg = self.rg(a) || self.rg(x);
         self.push(out, Op::MatmulBroadcastNt(a, x), rg)
@@ -298,22 +327,33 @@ impl Graph {
         let n = xt.shape().last_dim();
         assert_eq!(self.value(gamma).numel(), n, "layer_norm gamma length");
         assert_eq!(self.value(beta).numel(), n, "layer_norm beta length");
-        let rows = xt.shape().leading();
-        let mut cache = vec![0.0f32; 2 * rows];
-        let mut out = xt.clone();
-        let gdata = self.value(gamma).data().to_vec();
-        let bdata = self.value(beta).data().to_vec();
-        for i in 0..rows {
-            let row = &mut out.data_mut()[i * n..(i + 1) * n];
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            let rstd = 1.0 / (var + eps).sqrt();
-            cache[i] = mean;
-            cache[rows + i] = rstd;
-            for (j, v) in row.iter_mut().enumerate() {
-                *v = (*v - mean) * rstd * gdata[j] + bdata[j];
+        let (out, cache) = if crate::fused_enabled() {
+            focus_tensor::fused::layer_norm_fwd(
+                xt,
+                self.value(gamma).data(),
+                self.value(beta).data(),
+                eps,
+            )
+        } else {
+            // Unfused reference: clone the input, normalise in place.
+            let rows = xt.shape().leading();
+            let mut cache = vec![0.0f32; 2 * rows]; // focus-lint: allow(pool-bypass) -- reference path, deliberately heap-allocated for parity with pre-pool code
+            let mut out = xt.clone();
+            let gdata = self.value(gamma).data().to_vec();
+            let bdata = self.value(beta).data().to_vec();
+            for i in 0..rows {
+                let row = &mut out.data_mut()[i * n..(i + 1) * n];
+                let mean = row.iter().sum::<f32>() / n as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                let rstd = 1.0 / (var + eps).sqrt();
+                cache[2 * i] = mean;
+                cache[2 * i + 1] = rstd;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (*v - mean) * rstd * gdata[j] + bdata[j];
+                }
             }
-        }
+            (out, Tensor::from_vec(cache, &[rows, 2]))
+        };
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
         self.push(
             out,
@@ -321,7 +361,7 @@ impl Graph {
                 x,
                 gamma,
                 beta,
-                cache: cache.into_boxed_slice(),
+                cache,
             },
             rg,
         )
@@ -430,18 +470,9 @@ pub(crate) fn swap01(t: &Tensor) -> Tensor {
     out
 }
 
-pub(crate) fn gelu_fwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
-}
-
-pub(crate) fn gelu_bwd(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    let x3 = x * x * x;
-    let u = C * (x + 0.044715 * x3);
-    let t = u.tanh();
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x)
-}
+// The GELU scalar pair lives beside the fused kernels so the forward map,
+// both backward paths and the parity tests all share one definition.
+pub(crate) use focus_tensor::fused::{gelu_bwd, gelu_fwd};
 
 #[cfg(test)]
 mod tests {

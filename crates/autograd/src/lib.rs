@@ -44,3 +44,19 @@ pub mod gradcheck;
 
 pub use graph::{Graph, Var};
 pub use optim::{Adam, AdamW, Optimizer, ParamId, ParamStore, ParamVars, Sgd};
+
+/// Selects the fused (`true`, default) or reference (`false`) backward,
+/// GEMM-dispatch and optimizer kernels.
+///
+/// Forwards to [`focus_tensor::fused::set_enabled`] — the flag lives in the
+/// tensor crate because the GEMM dispatch consults it too. The two paths are
+/// bitwise-identical — this switch exists so the parity tests and benchmarks
+/// can compare them in one process, not because they may disagree.
+pub fn set_fused(on: bool) {
+    focus_tensor::fused::set_enabled(on);
+}
+
+/// True when the fused kernel path is active (see [`set_fused`]).
+pub fn fused_enabled() -> bool {
+    focus_tensor::fused::enabled()
+}

@@ -9,7 +9,7 @@
 //! and for tests.
 
 use crate::{Graph, Var};
-use focus_tensor::Tensor;
+use focus_tensor::{fused, Tensor};
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -196,12 +196,48 @@ impl Moments {
         }
     }
 
-    /// Returns the bias-corrected update direction `m̂ / (√v̂ + eps)`.
-    fn direction(&mut self, idx: usize, grad: &Tensor, beta1: f32, beta2: f32, eps: f32) -> Tensor {
+    fn ensure_shape(&mut self, idx: usize, grad: &Tensor) {
         if self.m[idx].numel() != grad.numel() {
             self.m[idx] = Tensor::zeros(grad.dims());
             self.v[idx] = Tensor::zeros(grad.dims());
         }
+    }
+
+    /// One fused update: decoupled decay, moment updates, bias correction and
+    /// the parameter write-back in a single pass over the buffers — no `dir`
+    /// temporary. `weight_decay = 0` gives plain Adam. Bitwise-identical to
+    /// [`Moments::direction`] + decay + axpy.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_update(
+        &mut self,
+        idx: usize,
+        param: &mut Tensor,
+        grad: &Tensor,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) {
+        self.ensure_shape(idx, grad);
+        fused::adamw_step(
+            param.data_mut(),
+            grad.data(),
+            self.m[idx].data_mut(),
+            self.v[idx].data_mut(),
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            self.t,
+        );
+    }
+
+    /// Returns the bias-corrected update direction `m̂ / (√v̂ + eps)` — the
+    /// unfused reference path behind [`crate::set_fused`]`(false)`.
+    fn direction(&mut self, idx: usize, grad: &Tensor, beta1: f32, beta2: f32, eps: f32) -> Tensor {
+        self.ensure_shape(idx, grad);
         let m = &mut self.m[idx];
         for (mv, &gv) in m.data_mut().iter_mut().zip(grad.data()) {
             *mv = beta1 * *mv + (1.0 - beta1) * gv;
@@ -264,6 +300,11 @@ impl Optimizer for Adam {
 
     fn update(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
         debug_assert!(self.step_started, "begin_step must precede update");
+        if crate::fused_enabled() {
+            self.state
+                .fused_update(idx, param, grad, self.lr, self.beta1, self.beta2, self.eps, 0.0);
+            return;
+        }
         let dir = self.state.direction(idx, grad, self.beta1, self.beta2, self.eps);
         param.axpy(-self.lr, &dir);
     }
@@ -310,6 +351,19 @@ impl Optimizer for AdamW {
 
     fn update(&mut self, idx: usize, param: &mut Tensor, grad: &Tensor) {
         debug_assert!(self.step_started, "begin_step must precede update");
+        if crate::fused_enabled() {
+            self.state.fused_update(
+                idx,
+                param,
+                grad,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+            );
+            return;
+        }
         // Decoupled decay first (does not enter the moment estimates).
         if self.weight_decay > 0.0 {
             let shrink = 1.0 - self.lr * self.weight_decay;

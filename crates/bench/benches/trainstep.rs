@@ -1,0 +1,202 @@
+//! End-to-end training-step benchmark for the dual-branch FOCUS model:
+//! instance-norm → forward → MSE → backward → AdamW step, i.e. exactly the
+//! per-window work of [`Forecaster::train`].
+//!
+//! Two execution modes are timed:
+//!
+//! * **before** — buffer pool disabled and fused kernels off, reproducing
+//!   the pre-pool/pre-fusion per-step behaviour (every kernel allocates its
+//!   output and the reference serial backward rules run);
+//! * **after** — pooled allocation + fused forward/backward kernels +
+//!   fused AdamW, swept across 1/2/4/max worker threads.
+//!
+//! The host may be time-shared, so before/after are measured in
+//! *interleaved* rounds — a block of before-steps then a block of
+//! after-steps per round, best block kept for each — ensuring both modes
+//! sample the same background-load conditions instead of whichever phase of
+//! the machine's mood their contiguous run landed on.
+//!
+//! The run rewrites `BENCH_trainstep.json` at the repository root, including
+//! the steady-state pool counters proving the zero-allocation invariant.
+
+use focus_autograd::{self as autograd, AdamW, Graph};
+use focus_core::forecaster::normalise_target;
+use focus_core::model::{Focus, FocusConfig};
+use focus_core::Forecaster;
+use focus_data::{Benchmark, MtsDataset, Split};
+use focus_nn::revin::instance_norm;
+use focus_tensor::{par, pool};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Steps per timed block; one block is the unit of comparison.
+const BLOCK: usize = 4;
+/// Interleaved rounds; each round times one block per mode.
+const ROUNDS: usize = 15;
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3} ms", ns / 1e6)
+}
+
+struct Harness {
+    model: Focus,
+    windows: Vec<focus_data::Window>,
+    opt: AdamW,
+    graph: Graph,
+    next: usize,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let (entities, lookback, horizon) = (32, 96, 24);
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(entities, 2_000), 7);
+        let mut cfg = FocusConfig::new(lookback, horizon);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 8;
+        cfg.d = 32;
+        cfg.readout = 6;
+        cfg.cluster_iters = 6;
+        let model = Focus::fit_offline(&ds, cfg, 1);
+        let windows = ds.windows(Split::Train, lookback, horizon, 64);
+        assert!(windows.len() >= 4, "need a few distinct training windows");
+        Harness {
+            model,
+            windows,
+            opt: AdamW::new(1e-3, 1e-4),
+            graph: Graph::new(),
+            next: 0,
+        }
+    }
+
+    /// One full train step on the next window (cycling through the set).
+    fn step(&mut self) {
+        let w = &self.windows[self.next % self.windows.len()];
+        self.next += 1;
+        let (x_norm, stats) = instance_norm(&w.x);
+        let y_norm = normalise_target(&w.y, &stats);
+        let g = &mut self.graph;
+        g.reset();
+        let pv = self.model.params().register(g);
+        let pred = self.model.forward_window(g, &pv, &x_norm);
+        let target = g.constant(y_norm);
+        let loss = g.mse(pred, target);
+        g.backward(loss);
+        self.model.params_mut().step(&mut self.opt, g, &pv);
+        black_box(g.value(loss).item());
+    }
+
+    /// Times one block of steps, returning ns per step.
+    fn block_ns(&mut self) -> f64 {
+        let start = Instant::now();
+        for _ in 0..BLOCK {
+            self.step();
+        }
+        start.elapsed().as_nanos() as f64 / BLOCK as f64
+    }
+}
+
+/// Puts the process in "before" (pre-PR) or "after" execution mode.
+fn set_mode(after: bool) {
+    pool::set_enabled(after);
+    autograd::set_fused(after);
+}
+
+fn sweep_threads() -> Vec<usize> {
+    let mut ts = vec![1usize, 2, 4];
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !ts.contains(&max) {
+        ts.push(max);
+    }
+    ts
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("train-step sweep: dual-branch FOCUS, 32 entities x L=96 -> 24 (host cores: {cores})");
+    par::set_threads(1);
+
+    // Build one harness per mode, each warmed in its own mode so the pooled
+    // harness starts at steady state.
+    set_mode(false);
+    let mut before_h = Harness::new();
+    set_mode(true);
+    let mut after_h = Harness::new();
+    for _ in 0..3 {
+        after_h.step();
+    }
+    set_mode(false);
+    for _ in 0..3 {
+        before_h.step();
+    }
+
+    // Interleaved rounds: both modes sample every load phase of the host.
+    let mut before_ns = f64::INFINITY;
+    let mut after1_ns = f64::INFINITY;
+    let mut fresh_total = 0u64;
+    for _ in 0..ROUNDS {
+        set_mode(false);
+        before_ns = before_ns.min(before_h.block_ns());
+        set_mode(true);
+        let f0 = pool::fresh_allocs();
+        after1_ns = after1_ns.min(after_h.block_ns());
+        fresh_total += pool::fresh_allocs() - f0;
+    }
+    let steady_steps = ROUNDS * BLOCK;
+    assert_eq!(
+        fresh_total, 0,
+        "steady-state training must not allocate fresh pool buffers ({fresh_total} over {steady_steps} steps)"
+    );
+    println!("before (no pool, reference kernels, 1 thread): {}", fmt_ms(before_ns));
+    println!(
+        "after  (pool + fused, 1 thread): {}  [fresh allocs over {steady_steps} steady steps: {fresh_total}]",
+        fmt_ms(after1_ns)
+    );
+    println!("single-thread speedup: {:.2}x", before_ns / after1_ns);
+
+    // Thread sweep for the fused mode (the host may expose only one core;
+    // the sweep still proves bitwise stability and records the scaling).
+    set_mode(true);
+    let mut after = Vec::new();
+    for t in sweep_threads() {
+        par::set_threads(t);
+        if t == 1 {
+            after.push((t, after1_ns));
+            continue;
+        }
+        let mut h = Harness::new();
+        for _ in 0..3 {
+            h.step();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS / 3 {
+            best = best.min(h.block_ns());
+        }
+        after.push((t, best));
+        println!("after  (pool + fused, {t} threads): {}", fmt_ms(best));
+    }
+    par::set_threads(0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"FOCUS dual-branch, 32 entities, L=96, p=8, k=8, d=32, m=6, horizon=24\","
+    );
+    let _ = writeln!(json, "  \"step\": \"instance_norm + forward + mse + backward + adamw\",");
+    let _ = writeln!(json, "  \"interleaved_rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"block_steps\": {BLOCK},");
+    let _ = writeln!(json, "  \"before_1_thread_ns\": {before_ns:.0},");
+    for &(t, ns) in &after {
+        let _ = writeln!(json, "  \"after_t{t}_ns\": {ns:.0},");
+    }
+    let _ = writeln!(json, "  \"steady_state_steps\": {steady_steps},");
+    let _ = writeln!(json, "  \"steady_state_fresh_allocs\": {fresh_total},");
+    let _ = write!(json, "  \"speedup_1_thread\": {:.3}\n}}\n", before_ns / after1_ns);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trainstep.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

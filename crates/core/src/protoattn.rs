@@ -151,19 +151,12 @@ impl Assignment {
                 let t = temperature.max(1e-4);
                 let mut d = prototypes.distances(&segments.reshape(&[b * l, p]));
                 for row in d.data_mut().chunks_exact_mut(k) {
-                    let mut max = f32::NEG_INFINITY;
                     for slot in row.iter_mut() {
                         *slot = -*slot / t;
-                        max = max.max(*slot);
                     }
-                    let mut sum = 0.0;
-                    for slot in row.iter_mut() {
-                        *slot = (*slot - max).exp();
-                        sum += *slot;
-                    }
-                    for slot in row.iter_mut() {
-                        *slot /= sum;
-                    }
+                    // Shared max-subtract softmax kernel — one definition for
+                    // every softmax in the workspace.
+                    focus_tensor::fused::softmax_row(row);
                 }
                 d.reshape_in_place(&[b, l, k]);
                 RoutingPlan::Soft { matrix: d }

@@ -1,0 +1,27 @@
+//! Seeded `pool-bypass` violations (and negatives that must stay silent).
+
+fn hot_path(n: usize) -> Vec<f32> {
+    let scratch = vec![0.0f32; n]; // violation: heap float buffer
+    let _neg = vec![-1.0; n]; // violation: negative repeat element
+    let mut out = Vec::<f32>::with_capacity(n); // violation: turbofish capacity
+    out.extend_from_slice(&scratch);
+    out
+}
+
+fn negatives(n: usize) -> usize {
+    let ints = vec![0u32; n]; // int buffers are not pooled
+    let list = vec![1.0, 2.0, 3.0]; // list form is setup-time data, not a buffer
+    let generic = Vec::with_capacity(n); // untyped capacity: not provably f32
+    let _: Vec<f32> = generic;
+    // focus-lint: allow(pool-bypass) -- cold reference path kept off the pool on purpose
+    let marked = vec![0.0f32; n];
+    ints.len() + list.len() + marked.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = vec![0.0f32; 8];
+    }
+}

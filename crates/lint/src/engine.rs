@@ -41,6 +41,9 @@ pub struct FileCtx {
     pub is_crate_root: bool,
     /// `crates/tensor/src/par.rs`, the one file allowed to spawn threads.
     pub is_par_module: bool,
+    /// `crates/tensor/src/pool.rs`, the one file allowed to allocate float
+    /// buffers straight from the heap.
+    pub is_pool_module: bool,
 }
 
 impl FileCtx {
@@ -70,6 +73,7 @@ impl FileCtx {
             path: path.display().to_string(),
             is_crate_root: under_src && (file_name == "lib.rs" || file_name == "main.rs"),
             is_par_module: crate_name == "tensor" && under_src && file_name == "par.rs",
+            is_pool_module: crate_name == "tensor" && under_src && file_name == "pool.rs",
             crate_name,
             is_test_path,
         }

@@ -16,7 +16,12 @@
 //!   intentional site);
 //! * **unsafe-forbid** — `#![forbid(unsafe_code)]` in every crate root;
 //! * **allow-marker** — suppressions are well-formed:
-//!   `// focus-lint: allow(<rule>) -- <reason>`, reason mandatory.
+//!   `// focus-lint: allow(<rule>) -- <reason>`, reason mandatory;
+//! * **pool-bypass** *(advisory)* — float buffers in `tensor`/`autograd`
+//!   library code come from `focus_tensor::pool`, not `vec![0.0; n]` /
+//!   `Vec::<f32>::with_capacity`; printed but never fails the CLI, since the
+//!   zero-allocation invariant itself is enforced by the pool steady-state
+//!   regression test.
 //!
 //! Run it over the workspace with
 //! `cargo run -p focus-lint --release -- crates/ src/`; it prints

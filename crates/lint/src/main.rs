@@ -1,6 +1,8 @@
 //! `focus-lint` CLI: lints the paths given as arguments (default: the
 //! current directory), prints `file:line: rule: message` diagnostics plus a
-//! rule/finding summary, and exits 1 if anything was found.
+//! rule/finding summary, and exits 1 if anything non-advisory was found
+//! (advisory rules — see [`focus_lint::rules::ADVISORY`] — print but never
+//! fail the run).
 
 #![forbid(unsafe_code)]
 
@@ -13,17 +15,24 @@ fn main() -> ExitCode {
         paths.push(PathBuf::from("."));
     }
     let (files, findings) = focus_lint::engine::run(&paths);
+    let advisory = |rule: &str| focus_lint::rules::ADVISORY.contains(&rule);
+    let hard = findings.iter().filter(|f| !advisory(f.rule)).count();
     for f in &findings {
-        println!("{f}");
+        if advisory(f.rule) {
+            println!("{f} (advisory)");
+        } else {
+            println!("{f}");
+        }
     }
     // counts in the summary line so verify.sh logs make regressions visible
     println!(
-        "focus-lint: {} rules, {} findings across {} files",
+        "focus-lint: {} rules, {} findings ({} advisory) across {} files",
         focus_lint::rules::RULES.len(),
         findings.len(),
+        findings.len() - hard,
         files
     );
-    if findings.is_empty() {
+    if hard == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -13,18 +13,35 @@
 //! |                 | `.contains(&0.0)`) without an allow-marked reason          |
 //! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`         |
 //! | `allow-marker`  | suppressions themselves are well-formed and justified      |
+//! | `pool-bypass`   | *(advisory)* float buffers in `tensor`/`autograd` library  |
+//! |                 | code come from `focus_tensor::pool`, not the heap          |
 
 use crate::engine::{CodeView, FileCtx, Finding};
 use crate::lexer::{Kind, Token};
 
 /// Every rule the engine knows, in reporting order. `allow-marker` findings
 /// are emitted by the marker parser in [`crate::engine::collect_allows`].
-pub const RULES: [&str; 5] =
-    ["determinism", "panic-hygiene", "float-hygiene", "unsafe-forbid", "allow-marker"];
+pub const RULES: [&str; 6] = [
+    "determinism",
+    "panic-hygiene",
+    "float-hygiene",
+    "unsafe-forbid",
+    "allow-marker",
+    "pool-bypass",
+];
+
+/// Advisory rules: their findings are printed but do not fail the CLI — the
+/// zero-allocation invariant is enforced end-to-end by the pool steady-state
+/// regression test, so the lint only points at likely culprits.
+pub const ADVISORY: [&str; 1] = ["pool-bypass"];
 
 /// Crates whose numeric paths underwrite the bitwise-determinism promise of
 /// PR 1; only these are in scope for the `determinism` rule.
 const DETERMINISM_CRATES: [&str; 5] = ["tensor", "cluster", "nn", "core", "autograd"];
+
+/// Crates whose steady-state training paths promise zero fresh heap
+/// allocations (PR 4); only these are in scope for the `pool-bypass` rule.
+const POOL_CRATES: [&str; 2] = ["tensor", "autograd"];
 
 /// Runs every applicable rule for this file over the code view.
 pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
@@ -39,6 +56,9 @@ pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
     float_hygiene(ctx, view, findings);
     if DETERMINISM_CRATES.contains(&ctx.crate_name.as_str()) {
         determinism(ctx, view, findings);
+    }
+    if POOL_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_pool_module {
+        pool_bypass(ctx, view, findings);
     }
 }
 
@@ -182,6 +202,52 @@ fn float_hygiene(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
                 "float-hygiene",
                 t.line,
                 "contains(&<float>) is exact float equality per element: allow-mark or compare bits".into(),
+                out,
+            );
+        }
+    }
+}
+
+/// `pool-bypass` (advisory): a float buffer allocated straight from the heap
+/// — `vec![<float>; len]` or `Vec::<f32>::with_capacity` — in `tensor` /
+/// `autograd` library code outside `pool.rs`. Steady-state training promises
+/// zero fresh allocations (guarded end-to-end by the pool regression test);
+/// hot-path buffers should come from `pool::take` / `take_zeroed`, and
+/// deliberate heap allocations (cold reference paths, setup-time code) carry
+/// an allow marker saying so.
+fn pool_bypass(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        if t.is_ident("vec")
+            && c.get(j + 1).is_some_and(|n| n.is_op("!"))
+            && c.get(j + 2).is_some_and(|n| n.is_op("["))
+        {
+            // repeat form only: `vec![0.0f32; n]` — allow a unary minus
+            let elem = if c.get(j + 3).is_some_and(|n| n.is_op("-")) { j + 4 } else { j + 3 };
+            if c.get(elem).is_some_and(|n| n.kind == Kind::Float)
+                && c.get(elem + 1).is_some_and(|n| n.is_op(";"))
+            {
+                emit(
+                    ctx,
+                    "pool-bypass",
+                    t.line,
+                    "float buffer from the heap: use focus_tensor::pool (take/take_zeroed), or allow-mark a cold path".into(),
+                    out,
+                );
+            }
+        } else if t.is_ident("with_capacity")
+            && j >= 5
+            && c[j - 1].is_op("::")
+            && c[j - 2].is_op(">")
+            && c[j - 3].is_ident("f32")
+            && c[j - 4].is_op("<")
+        {
+            // `Vec::<f32>::with_capacity(..)`
+            emit(
+                ctx,
+                "pool-bypass",
+                t.line,
+                "f32 buffer from the heap: use focus_tensor::pool (take/take_zeroed), or allow-mark a cold path".into(),
                 out,
             );
         }

@@ -73,6 +73,25 @@ fn float_hygiene_fixture_catches_every_seeded_violation() {
 }
 
 #[test]
+fn pool_bypass_fixture_catches_every_seeded_violation() {
+    let f = lint_file(&fixture("crates/tensor/src/pool_bypass.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("pool-bypass", 4), // vec![0.0f32; n]
+            ("pool-bypass", 5), // vec![-1.0; n]
+            ("pool-bypass", 6), // Vec::<f32>::with_capacity
+        ]
+    );
+}
+
+#[test]
+fn pool_module_is_exempt_from_pool_bypass() {
+    let f = lint_file(&fixture("crates/tensor/src/pool.rs"));
+    assert!(f.is_empty(), "pool.rs must be allowed to allocate: {f:?}");
+}
+
+#[test]
 fn unsafe_forbid_fixture_flags_missing_attribute() {
     let f = lint_file(&fixture("crates/badcrate/src/lib.rs"));
     assert_eq!(hits(&f), vec![("unsafe-forbid", 1)]);
@@ -104,7 +123,7 @@ fn clean_fixtures_are_silent() {
 #[test]
 fn engine_run_walks_fixture_tree_deterministically() {
     let (files, findings) = run(&[fixture("crates")]);
-    assert_eq!(files, 8, "all fixture files reached");
+    assert_eq!(files, 10, "all fixture files reached");
     // one positive fixture per rule keeps the suite honest
     for rule in focus_lint::rules::RULES {
         assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");
@@ -134,10 +153,17 @@ fn binary_exit_codes_match_findings() {
         let out = status(fixture(dirty));
         assert_eq!(out.status.code(), Some(1), "{dirty} must fail the lint");
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("5 rules"), "summary line present: {stdout}");
+        assert!(stdout.contains("6 rules"), "summary line present: {stdout}");
     }
     let out = status(fixture("crates/goodcrate"));
     assert_eq!(out.status.code(), Some(0), "clean tree must pass");
+
+    // advisory findings print but never fail the run
+    let out = status(fixture("crates/tensor/src/pool_bypass.rs"));
+    assert_eq!(out.status.code(), Some(0), "pool-bypass is advisory, exit stays 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pool-bypass"), "advisory findings still print: {stdout}");
+    assert!(stdout.contains("(advisory)"), "advisory findings are labelled: {stdout}");
 }
 
 /// The real workspace stays lint-clean: this is the same invariant

@@ -45,8 +45,7 @@ impl SelfAttention {
         let q = self.wq.forward(g, pv, x);
         let k = self.wk.forward(g, pv, x);
         let v = self.wv.forward(g, pv, x);
-        let kt = g.transpose_last2(k);
-        let scores = g.bmm(q, kt); // [B, l, l]
+        let scores = g.bmm_nt(q, k); // q·kᵀ → [B, l, l], no transposed copy
         let scaled = g.scale(scores, 1.0 / (self.d as f32).sqrt());
         let attn = g.softmax_last(scaled);
         let ctx = g.bmm(attn, v); // [B, l, d]
@@ -127,8 +126,7 @@ impl MultiHeadAttention {
             let qh = g.slice_last(q, lo, hi); // [B, l, dh]
             let kh = g.slice_last(k, lo, hi);
             let vh = g.slice_last(v, lo, hi);
-            let kt = g.transpose_last2(kh);
-            let scores = g.bmm(qh, kt);
+            let scores = g.bmm_nt(qh, kh); // qh·khᵀ, no transposed copy
             let scaled = g.scale(scores, scale);
             let attn = g.softmax_last(scaled);
             let head = g.bmm(attn, vh); // [B, l, dh]

@@ -1,0 +1,437 @@
+//! Fused single-pass forward/backward kernels for the hot non-GEMM ops:
+//! row softmax (fwd + bwd), LayerNorm over the trailing axis (fwd + bwd),
+//! the tanh-approximation GELU scalars, and the AdamW parameter step.
+//!
+//! Every kernel here obeys the two backend invariants:
+//!
+//! * **Pooled, no temporaries** — outputs come from the buffer
+//!   [`pool`](crate::pool) via [`Tensor::uninit`]-style construction and the
+//!   kernels write each element exactly once (no intermediate tensors), so a
+//!   steady-state train step allocates nothing.
+//! * **Bitwise-deterministic parallelism** — work splits into disjoint
+//!   contiguous row/element ranges on [`par`], and every output element is
+//!   produced by the same floating-point op sequence as the serial
+//!   reference, so results are identical at any thread count. Cross-row
+//!   reductions (`dgamma`/`dbeta`) parallelise over *columns*: each output
+//!   column keeps its serial row-ascending accumulation chain.
+//!
+//! The autograd crate routes its `SoftmaxLast` / `LayerNormLast` /
+//! activation rules and the AdamW optimizer through these entry points; the
+//! unfused reference implementations stay behind `focus_autograd`'s
+//! `set_fused(false)` switch and the parity tests prove the two paths
+//! bitwise-equal.
+
+use crate::ops::{ELEM_GRAIN, EXP_GRAIN};
+use crate::{par, Tensor};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide switch between the fused/optimised kernels and the serial
+/// reference implementations. Lives here (not in the autograd crate) because
+/// the GEMM dispatch also consults it: the small-`n` packed NT kernel is part
+/// of the fused path, and `set_enabled(false)` must reproduce the pre-fusion
+/// per-step behaviour exactly for baseline benchmarking. The two paths are
+/// bitwise-identical by construction; the flag trades speed only.
+static FUSED: AtomicBool = AtomicBool::new(true);
+
+/// Selects the fused kernels (`true`, default) or the serial reference
+/// implementations (`false`).
+pub fn set_enabled(on: bool) {
+    FUSED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the fused kernels are selected.
+pub fn enabled() -> bool {
+    FUSED.load(Ordering::Relaxed)
+}
+
+/// In-place numerically-stable softmax of one row: shift by the row maximum,
+/// exponentiate, normalise. The single source of truth for row softmax —
+/// `Tensor::softmax_last` and the soft-assignment routing both call this.
+#[inline]
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Softmax backward in one row sweep: `dx = y ⊙ (g − ⟨y, g⟩_row)`.
+///
+/// `y` is the forward output. Rows are independent, so the parallel split is
+/// bitwise-identical to serial.
+pub fn softmax_last_bwd(y: &Tensor, g: &Tensor) -> Tensor {
+    assert!(
+        y.shape().same_as(g.shape()),
+        "softmax_last_bwd shape mismatch: {} vs {}",
+        y.shape(),
+        g.shape()
+    );
+    let n = y.shape().last_dim();
+    let mut dx = Tensor::uninit(y.dims());
+    let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
+    par::parallel_rows(dx.data_mut(), n, grain_rows, 1, |row0, block| {
+        for (r, out) in block.chunks_mut(n).enumerate() {
+            let at = (row0 + r) * n;
+            let yr = &y.data()[at..at + n];
+            let gr = &g.data()[at..at + n];
+            let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+            for (o, (yv, gv)) in out.iter_mut().zip(yr.iter().zip(gr)) {
+                *o = yv * (gv - dot);
+            }
+        }
+    });
+    dx
+}
+
+/// Fused LayerNorm forward over the trailing axis.
+///
+/// Returns `(y, cache)` where `cache` is a `[rows, 2]` tensor of
+/// interleaved `(mean, rstd)` per row, consumed by [`layer_norm_bwd`].
+/// One pass per row: statistics then the affine normalisation, writing the
+/// output directly (no cloned input, no copied `gamma`/`beta`).
+pub fn layer_norm_fwd(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Tensor, Tensor) {
+    let n = x.shape().last_dim();
+    assert_eq!(gamma.len(), n, "layer_norm gamma length");
+    assert_eq!(beta.len(), n, "layer_norm beta length");
+    let rows = x.shape().leading();
+    let mut out = Tensor::uninit(x.dims());
+    let mut cache = Tensor::uninit(&[rows, 2]);
+    let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
+    par::parallel_rows2(
+        out.data_mut(),
+        n,
+        cache.data_mut(),
+        2,
+        grain_rows,
+        |row0, block, cblock| {
+            // The mean/variance reductions are serial ascending-j chains
+            // (reassociation would change bits), so a single row is bound by
+            // FP-add latency. Rows are independent: running four rows' chains
+            // in flight overlaps that latency without reordering any row's
+            // own sums — bitwise-identical to the one-row loop below, which
+            // handles the remainder.
+            let rows_here = block.len() / n;
+            let mut r = 0;
+            while r + 4 <= rows_here {
+                let base = (row0 + r) * n;
+                let x0 = &x.data()[base..base + n];
+                let x1 = &x.data()[base + n..base + 2 * n];
+                let x2 = &x.data()[base + 2 * n..base + 3 * n];
+                let x3 = &x.data()[base + 3 * n..base + 4 * n];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for j in 0..n {
+                    s0 += x0[j];
+                    s1 += x1[j];
+                    s2 += x2[j];
+                    s3 += x3[j];
+                }
+                let m = [s0 / n as f32, s1 / n as f32, s2 / n as f32, s3 / n as f32];
+                let (mut v0, mut v1, mut v2, mut v3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for j in 0..n {
+                    v0 += (x0[j] - m[0]) * (x0[j] - m[0]);
+                    v1 += (x1[j] - m[1]) * (x1[j] - m[1]);
+                    v2 += (x2[j] - m[2]) * (x2[j] - m[2]);
+                    v3 += (x3[j] - m[3]) * (x3[j] - m[3]);
+                }
+                let var = [v0 / n as f32, v1 / n as f32, v2 / n as f32, v3 / n as f32];
+                for (q, xq) in [x0, x1, x2, x3].into_iter().enumerate() {
+                    let rstd = 1.0 / (var[q] + eps).sqrt();
+                    cblock[2 * (r + q)] = m[q];
+                    cblock[2 * (r + q) + 1] = rstd;
+                    let orow = &mut block[(r + q) * n..(r + q + 1) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = (xq[j] - m[q]) * rstd * gamma[j] + beta[j];
+                    }
+                }
+                r += 4;
+            }
+            for r in r..rows_here {
+                let xr = &x.data()[(row0 + r) * n..(row0 + r + 1) * n];
+                let mean = xr.iter().sum::<f32>() / n as f32;
+                let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                let rstd = 1.0 / (var + eps).sqrt();
+                cblock[2 * r] = mean;
+                cblock[2 * r + 1] = rstd;
+                let orow = &mut block[r * n..(r + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = (xr[j] - mean) * rstd * gamma[j] + beta[j];
+                }
+            }
+        },
+    );
+    (out, cache)
+}
+
+/// Fused LayerNorm backward.
+///
+/// Returns `(dx, dgamma, dbeta)`. `dx` rows are independent and parallelise
+/// bitwise-safely; `dgamma`/`dbeta` are cross-row sums, parallelised over
+/// *columns* so each output element keeps the exact serial row-ascending
+/// accumulation chain (thread-count invariant).
+pub fn layer_norm_bwd(
+    x: &Tensor,
+    gamma: &[f32],
+    cache: &Tensor,
+    g: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let n = x.shape().last_dim();
+    let rows = x.shape().leading();
+    assert_eq!(cache.numel(), 2 * rows, "layer_norm cache holds (mean, rstd) per row");
+    let cd = cache.data();
+
+    let mut dx = Tensor::uninit(x.dims());
+    let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
+    par::parallel_rows(dx.data_mut(), n, grain_rows, 1, |row0, block| {
+        let inv_n = 1.0 / n as f32;
+        // Like the forward: the two per-row reduction chains are serial by
+        // contract, so four independent rows run in flight to hide FP-add
+        // latency. Each row's own chain order is untouched — bitwise-equal
+        // to the one-row remainder loop.
+        let rows_here = block.len() / n;
+        let mut r = 0;
+        while r + 4 <= rows_here {
+            let at = (row0 + r) * n;
+            let x0 = &x.data()[at..at + n];
+            let x1 = &x.data()[at + n..at + 2 * n];
+            let x2 = &x.data()[at + 2 * n..at + 3 * n];
+            let x3 = &x.data()[at + 3 * n..at + 4 * n];
+            let g0 = &g.data()[at..at + n];
+            let g1 = &g.data()[at + n..at + 2 * n];
+            let g2 = &g.data()[at + 2 * n..at + 3 * n];
+            let g3 = &g.data()[at + 3 * n..at + 4 * n];
+            let mu = [
+                cd[2 * (row0 + r)],
+                cd[2 * (row0 + r + 1)],
+                cd[2 * (row0 + r + 2)],
+                cd[2 * (row0 + r + 3)],
+            ];
+            let rstd = [
+                cd[2 * (row0 + r) + 1],
+                cd[2 * (row0 + r + 1) + 1],
+                cd[2 * (row0 + r + 2) + 1],
+                cd[2 * (row0 + r + 3) + 1],
+            ];
+            let (mut sd0, mut sd1, mut sd2, mut sd3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut sx0, mut sx1, mut sx2, mut sx3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for j in 0..n {
+                let gj = gamma[j];
+                let dy0 = g0[j] * gj;
+                let dy1 = g1[j] * gj;
+                let dy2 = g2[j] * gj;
+                let dy3 = g3[j] * gj;
+                sd0 += dy0;
+                sd1 += dy1;
+                sd2 += dy2;
+                sd3 += dy3;
+                sx0 += dy0 * ((x0[j] - mu[0]) * rstd[0]);
+                sx1 += dy1 * ((x1[j] - mu[1]) * rstd[1]);
+                sx2 += dy2 * ((x2[j] - mu[2]) * rstd[2]);
+                sx3 += dy3 * ((x3[j] - mu[3]) * rstd[3]);
+            }
+            let sum_dy = [sd0, sd1, sd2, sd3];
+            let sum_dy_xhat = [sx0, sx1, sx2, sx3];
+            for (q, (xq, gq)) in [(x0, g0), (x1, g1), (x2, g2), (x3, g3)].into_iter().enumerate()
+            {
+                let out = &mut block[(r + q) * n..(r + q + 1) * n];
+                for (j, o) in out.iter_mut().enumerate() {
+                    let xhat = (xq[j] - mu[q]) * rstd[q];
+                    let dy = gq[j] * gamma[j];
+                    *o = rstd[q] * (dy - sum_dy[q] * inv_n - xhat * sum_dy_xhat[q] * inv_n);
+                }
+            }
+            r += 4;
+        }
+        for r in r..rows_here {
+            let at = (row0 + r) * n;
+            let xr = &x.data()[at..at + n];
+            let gr = &g.data()[at..at + n];
+            let (mu, rstd) = (cd[2 * (row0 + r)], cd[2 * (row0 + r) + 1]);
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for j in 0..n {
+                let xhat = (xr[j] - mu) * rstd;
+                let dy = gr[j] * gamma[j];
+                sum_dy += dy;
+                sum_dy_xhat += dy * xhat;
+            }
+            let out = &mut block[r * n..(r + 1) * n];
+            for (j, o) in out.iter_mut().enumerate() {
+                let xhat = (xr[j] - mu) * rstd;
+                let dy = gr[j] * gamma[j];
+                *o = rstd * (dy - sum_dy * inv_n - xhat * sum_dy_xhat * inv_n);
+            }
+        }
+    });
+
+    let mut dgamma = Tensor::uninit(&[n]);
+    let mut dbeta = Tensor::uninit(&[n]);
+    let col_grain = ELEM_GRAIN.div_ceil(rows.max(1)).max(1);
+    par::parallel_rows2(
+        dgamma.data_mut(),
+        1,
+        dbeta.data_mut(),
+        1,
+        col_grain,
+        |col0, gchunk, bchunk| {
+            // Row-major sweep with the output chunks as accumulators: each
+            // column still sums rows in ascending order (bitwise-equal to the
+            // serial reference), but reads walk `g`/`x` contiguously instead
+            // of striding a full row per element.
+            gchunk.fill(0.0);
+            bchunk.fill(0.0);
+            let w = gchunk.len();
+            for r in 0..rows {
+                let base = r * n + col0;
+                let (mu, rstd) = (cd[2 * r], cd[2 * r + 1]);
+                let gr = &g.data()[base..base + w];
+                let xr = &x.data()[base..base + w];
+                for ((dg, db), (&gv, &xv)) in
+                    gchunk.iter_mut().zip(bchunk.iter_mut()).zip(gr.iter().zip(xr))
+                {
+                    let xhat = (xv - mu) * rstd;
+                    *dg += gv * xhat;
+                    *db += gv;
+                }
+            }
+        },
+    );
+    (dx, dgamma, dbeta)
+}
+
+/// GELU forward, tanh approximation (shared scalar).
+#[inline]
+pub fn gelu_fwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_fwd`] (shared scalar).
+#[inline]
+pub fn gelu_bwd(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let u = C * (x + 0.044715 * x3);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Fused AdamW step over one parameter tensor: decoupled decay, moment
+/// updates, bias correction and the write-back in a single loop per element
+/// — no `dir` temporary. Setting `weight_decay = 0` yields plain Adam.
+///
+/// Per-element arithmetic matches the unfused reference sequence exactly
+/// (decay, `m`-update, `v`-update, direction, axpy), so results are bitwise
+/// identical to it and thread-count invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn adamw_step(
+    param: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+) {
+    let bc1 = 1.0 - beta1.powi(t as i32);
+    let bc2 = 1.0 - beta2.powi(t as i32);
+    let shrink = 1.0 - lr * weight_decay;
+    let decay = weight_decay > 0.0;
+    par::parallel_zip4(param, grad, m, v, ELEM_GRAIN, |_, pc, gc, mc, vc| {
+        for (((p, &g), m), v) in pc.iter_mut().zip(gc).zip(mc.iter_mut()).zip(vc.iter_mut()) {
+            if decay {
+                *p *= shrink;
+            }
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p += -lr * (mhat / (vhat.sqrt() + eps));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_row_matches_tensor_softmax() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = t.softmax_last();
+        let mut row = [1.0f32, 2.0, 3.0];
+        softmax_row(&mut row);
+        assert_eq!(&row, s.row(0));
+    }
+
+    #[test]
+    fn softmax_bwd_zero_gradient_for_uniform_g() {
+        // ⟨y, 1⟩ = 1 ⇒ dx = y ⊙ (1 − 1) = 0.
+        let y = Tensor::from_vec(vec![0.2, 0.3, 0.5], &[1, 3]).softmax_last();
+        let g = Tensor::ones(&[1, 3]);
+        let dx = softmax_last_bwd(&y, &g);
+        assert!(dx.data().iter().all(|v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn layer_norm_fwd_normalises_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]);
+        let (y, cache) = layer_norm_fwd(&x, &[1.0; 4], &[0.0; 4], 1e-5);
+        assert_eq!(cache.dims(), &[2, 2]);
+        for i in 0..2 {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn adamw_step_matches_unfused_sequence() {
+        let lr = 0.01;
+        let (b1, b2, eps, wd) = (0.9f32, 0.999f32, 1e-8f32, 0.1f32);
+        let grad = vec![0.5f32, -1.5, 2.0, 0.0];
+        let mut p1 = vec![1.0f32, -2.0, 3.0, 0.5];
+        let mut m1 = vec![0.0f32; 4];
+        let mut v1 = vec![0.0f32; 4];
+        // Unfused reference: separate decay / m / v / dir / axpy loops.
+        let mut p2 = p1.clone();
+        let mut m2 = m1.clone();
+        let mut v2 = v1.clone();
+        for t in 1..=3u64 {
+            adamw_step(&mut p1, &grad, &mut m1, &mut v1, lr, b1, b2, eps, wd, t);
+            let shrink = 1.0 - lr * wd;
+            for p in p2.iter_mut() {
+                *p *= shrink;
+            }
+            for (m, &g) in m2.iter_mut().zip(&grad) {
+                *m = b1 * *m + (1.0 - b1) * g;
+            }
+            for (v, &g) in v2.iter_mut().zip(&grad) {
+                *v = b2 * *v + (1.0 - b2) * g * g;
+            }
+            let bc1 = 1.0 - b1.powi(t as i32);
+            let bc2 = 1.0 - b2.powi(t as i32);
+            let dir: Vec<f32> = m2
+                .iter()
+                .zip(&v2)
+                .map(|(&m, &v)| (m / bc1) / ((v / bc2).sqrt() + eps))
+                .collect();
+            for (p, &d) in p2.iter_mut().zip(&dir) {
+                *p += -lr * d;
+            }
+            assert_eq!(p1, p2, "fused AdamW diverged from reference at t={t}");
+            assert_eq!(m1, m2);
+            assert_eq!(v1, v2);
+        }
+    }
+}

@@ -40,7 +40,9 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub mod fused;
 pub mod par;
+pub mod pool;
 pub mod route;
 pub mod stats;
 

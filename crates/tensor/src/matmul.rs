@@ -23,7 +23,7 @@
 //! property tests compare against.
 
 use crate::par;
-use crate::Tensor;
+use crate::{fused, pool, Tensor};
 
 /// Register tile width (output columns per micro-tile).
 const NR: usize = 16;
@@ -226,21 +226,31 @@ fn gemm_block(i0: usize, i1: usize, k: usize, n: usize, a: &[f32], b: &[f32], c_
             }
             j0 += NR;
         }
-        // Column remainder: scalar saxpy, same ascending-k chain and skip.
+        // Column remainder: run the micro-kernel against a zero-padded panel
+        // and a padded staging tile, then copy the live columns back. The
+        // real columns keep the same ascending-k chain and per-(row, k) skip
+        // as the scalar remainder loop; the padded lanes are discarded.
         if n_full < n {
-            for i in i0..i1 {
-                let row_base = (i - i0) * n;
-                for kk in k0..k0 + kc {
-                    let a_ik = a[i * k + kk];
-                    // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
-                    if a_ik != 0.0 {
-                        let b_row = &b[kk * n + n_full..kk * n + n];
-                        let c_row = &mut c_block[row_base + n_full..row_base + n];
-                        for (o, &bv) in c_row.iter_mut().zip(b_row) {
-                            *o += a_ik * bv;
-                        }
-                    }
+            let nrem = n - n_full;
+            for (kk, dst) in panel.chunks_exact_mut(NR).take(kc).enumerate() {
+                dst[..nrem].copy_from_slice(&b[(k0 + kk) * n + n_full..(k0 + kk) * n + n]);
+                dst[nrem..].fill(0.0);
+            }
+            let mut stage = [0.0f32; MR * NR];
+            let mut i = i0;
+            while i < i1 {
+                let mr = MR.min(i1 - i);
+                for r in 0..mr {
+                    let base = (i - i0 + r) * n + n_full;
+                    stage[r * NR..r * NR + nrem].copy_from_slice(&c_block[base..base + nrem]);
+                    stage[r * NR + nrem..(r + 1) * NR].fill(0.0);
                 }
+                micro_tile::<true>(mr, kc, a, i * k + k0, k, &panel, 0, NR, &mut stage, 0, NR);
+                for r in 0..mr {
+                    let base = (i - i0 + r) * n + n_full;
+                    c_block[base..base + nrem].copy_from_slice(&stage[r * NR..r * NR + nrem]);
+                }
+                i += mr;
             }
         }
         k0 += KC;
@@ -330,19 +340,33 @@ fn gemm_tn_block(
     debug_assert_eq!(c_block.len(), (i1 - i0) * n);
     let n_full = n - n % NR;
     let mut a_panel = [0.0f32; MR * KC];
+    // Lazily initialised so aligned-n calls never pay for zeroing it.
+    let mut b_rem: Option<Box<[f32; KC * NR]>> = None;
     let mut k0 = 0;
     while k0 < k {
         let kc = KC.min(k - k0);
+        // Zero-padded panel of the remainder columns, packed once per k-block
+        // and shared by every row tile below.
+        if n_full < n {
+            let nrem = n - n_full;
+            let b_rem = b_rem.get_or_insert_with(|| Box::new([0.0; KC * NR]));
+            for (kk, dst) in b_rem.chunks_exact_mut(NR).take(kc).enumerate() {
+                dst[..nrem].copy_from_slice(&b[(k0 + kk) * n + n_full..(k0 + kk) * n + n]);
+                dst[nrem..].fill(0.0);
+            }
+        }
         let mut i = i0;
         while i < i1 {
             let mr = MR.min(i1 - i);
             // a_panel[r][kk] = a[(k0 + kk) * m-stride + (i + r)]; the row-major
             // stride of `a` is m, the total column count of aᵀ's source.
+            // kk-outer so each source row's `mr` adjacent floats are read from
+            // one cache line rather than touched once per destination row.
             let m_stride = a.len() / k;
-            for r in 0..mr {
-                let dst = &mut a_panel[r * kc..(r + 1) * kc];
-                for (kk, d) in dst.iter_mut().enumerate() {
-                    *d = a[(k0 + kk) * m_stride + i + r];
+            for kk in 0..kc {
+                let src = &a[(k0 + kk) * m_stride + i..(k0 + kk) * m_stride + i + mr];
+                for (r, &v) in src.iter().enumerate() {
+                    a_panel[r * kc + kk] = v;
                 }
             }
             let mut j0 = 0;
@@ -362,21 +386,23 @@ fn gemm_tn_block(
                 );
                 j0 += NR;
             }
-            // Column remainder: scalar saxpy per (row, k), ascending k + skip.
+            // Column remainder: padded micro-tile against `b_rem`, keeping
+            // the per-(row, k) skip and ascending-k chain of the scalar loop
+            // on the live columns; padded lanes are discarded.
             if n_full < n {
+                let nrem = n - n_full;
+                let brem: &[f32] =
+                    b_rem.as_deref().expect("packed above whenever a remainder exists");
+                let mut stage = [0.0f32; MR * NR];
                 for r in 0..mr {
-                    let row_base = (i - i0 + r) * n;
-                    for kk in 0..kc {
-                        let a_ki = a_panel[r * kc + kk];
-                        // focus-lint: allow(float-hygiene) -- exact-zero test is the one-hot sparsity skip; skipped terms contribute nothing bitwise
-                        if a_ki != 0.0 {
-                            let b_row = &b[(k0 + kk) * n + n_full..(k0 + kk) * n + n];
-                            let c_row = &mut c_block[row_base + n_full..row_base + n];
-                            for (o, &bv) in c_row.iter_mut().zip(b_row) {
-                                *o += a_ki * bv;
-                            }
-                        }
-                    }
+                    let base = (i - i0 + r) * n + n_full;
+                    stage[r * NR..r * NR + nrem].copy_from_slice(&c_block[base..base + nrem]);
+                    stage[r * NR + nrem..(r + 1) * NR].fill(0.0);
+                }
+                micro_tile::<true>(mr, kc, &a_panel, 0, kc, brem, 0, NR, &mut stage, 0, NR);
+                for r in 0..mr {
+                    let base = (i - i0 + r) * n + n_full;
+                    c_block[base..base + nrem].copy_from_slice(&stage[r * NR..r * NR + nrem]);
                 }
             }
             i += mr;
@@ -390,11 +416,23 @@ pub mod raw {
     //!
     //! These run the same reference→tiled→parallel dispatch as the [`Tensor`]
     //! methods but accumulate into a caller-owned buffer, so batched sweeps
-    //! (e.g. the clustering distance matrix) can reuse one scratch allocation
-    //! across blocks. Like the reference kernels, they **accumulate** into
-    //! `c` — zero it first for a plain product.
+    //! (e.g. the clustering distance matrix, the broadcast-LHS attention
+    //! products) can write straight into slices of one output allocation.
+    //! Like the reference kernels, they **accumulate** into `c` — zero it
+    //! first for a plain product.
     //!
     //! [`Tensor`]: crate::Tensor
+
+    /// `c[m×n] += a[m×k] · b[k×n]`, all row-major slices (zero-skip on `a`).
+    ///
+    /// # Panics
+    /// If a slice length disagrees with its shape.
+    pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "gemm lhs length");
+        assert_eq!(b.len(), k * n, "gemm rhs length");
+        assert_eq!(c.len(), m * n, "gemm out length");
+        super::gemm_dispatch(super::Kind::Nn, m, k, n, a, b, c);
+    }
 
     /// `c[m×n] += a[m×k] · (b[n×k])ᵀ`, all row-major slices.
     ///
@@ -405,6 +443,153 @@ pub mod raw {
         assert_eq!(b.len(), n * k, "gemm_nt rhs length");
         assert_eq!(c.len(), m * n, "gemm_nt out length");
         super::gemm_dispatch(super::Kind::Nt, m, k, n, a, b, c);
+    }
+
+    /// `c[m×n] += (a[k×m])ᵀ · b[k×n]`, all row-major slices (zero-skip on
+    /// `a`).
+    ///
+    /// # Panics
+    /// If a slice length disagrees with its shape.
+    pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        assert_eq!(a.len(), k * m, "gemm_tn lhs length");
+        assert_eq!(b.len(), k * n, "gemm_tn rhs length");
+        assert_eq!(c.len(), m * n, "gemm_tn out length");
+        super::gemm_dispatch(super::Kind::Tn, m, k, n, a, b, c);
+    }
+
+    /// Batched `c[bi] += a · (b[bi])ᵀ` with a broadcast left operand: `a` is
+    /// one `[m × k]` matrix, `b` holds `bt` batches of `[n × k]` and `c`
+    /// holds `bt` batches of `[m × n]`. Bitwise-identical to calling
+    /// [`gemm_nt`] per batch, but narrow outputs (`n < NR`, the prototype
+    /// attention scores) share one packing panel and staging tile across the
+    /// whole sweep instead of re-initialising scratch per batch.
+    ///
+    /// # Panics
+    /// If a slice length disagrees with its shape.
+    pub fn gemm_nt_bcast(
+        bt: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) {
+        use super::{Kind, NR, SMALL_STAGE};
+        assert_eq!(a.len(), m * k, "gemm_nt_bcast lhs length");
+        assert_eq!(b.len(), bt * n * k, "gemm_nt_bcast rhs length");
+        assert_eq!(c.len(), bt * m * n, "gemm_nt_bcast out length");
+        if n < NR && m * k * n > 0 && m * NR <= SMALL_STAGE && crate::fused::enabled() {
+            let mut panel = [0.0f32; super::KC * NR];
+            let mut stage = [0.0f32; SMALL_STAGE];
+            for bi in 0..bt {
+                super::gemm_nt_small_rows(
+                    0,
+                    k,
+                    n,
+                    a,
+                    &b[bi * n * k..(bi + 1) * n * k],
+                    &mut c[bi * m * n..(bi + 1) * m * n],
+                    &mut panel,
+                    &mut stage,
+                );
+            }
+        } else {
+            for bi in 0..bt {
+                super::gemm_dispatch(
+                    Kind::Nt,
+                    m,
+                    k,
+                    n,
+                    a,
+                    &b[bi * n * k..(bi + 1) * n * k],
+                    &mut c[bi * m * n..(bi + 1) * m * n],
+                );
+            }
+        }
+    }
+}
+
+/// `a · bᵀ` for outputs narrower than one register tile (`n < NR`), where the
+/// blocked kernel would push every column through its scalar-dot remainder —
+/// a `k`-axis reduction the compiler must not vectorise (reassociation would
+/// change bits). Instead the panel of `bᵀ` is packed zero-padded to the full
+/// `NR` width and the regular [`micro_tile`] runs against a pooled `NR`-wide
+/// staging buffer, so the kernel keeps `MR` rows of accumulators in flight
+/// exactly like the dense path (the padded lanes compute and discard zeros).
+/// Each real output element still accumulates `a[i,kk] * b[j,kk]` in
+/// ascending `kk` from its existing value — the exact reference `gemm_nt`
+/// chain, which has no zero-skip — so results are bitwise-identical.
+fn gemm_nt_small(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert!(n <= NR);
+    let rows = |i0: usize, c_block: &mut [f32]| {
+        let mr_rows = c_block.len() / n;
+        let mut panel = [0.0f32; KC * NR];
+        // Tiny row blocks (every per-batch attention product) stage on the
+        // stack; only large blocks pay the pool round-trip.
+        let mut stack_stage = [0.0f32; SMALL_STAGE];
+        if mr_rows * NR <= stack_stage.len() {
+            gemm_nt_small_rows(i0, k, n, a, b, c_block, &mut panel, &mut stack_stage);
+        } else {
+            let mut stage = pool::take(mr_rows * NR);
+            gemm_nt_small_rows(i0, k, n, a, b, c_block, &mut panel, &mut stage);
+            pool::give(stage);
+        }
+    };
+    if m * k * n < PAR_MIN_MACS {
+        rows(0, c);
+    } else {
+        let grain_rows = PAR_GRAIN_MACS.div_ceil(k * n).max(1);
+        par::parallel_rows(c, n, grain_rows, 1, |row0, c_block| rows(row0, c_block));
+    }
+}
+
+/// Staging capacity (in floats) that [`gemm_nt_small`] keeps on the stack and
+/// batched sweeps preallocate: covers row blocks up to `4 · MR` rows.
+const SMALL_STAGE: usize = 4 * MR * NR;
+
+/// Serial core of [`gemm_nt_small`] over the row block starting at `i0`,
+/// staging into caller-provided scratch (`panel` of `KC · NR` floats, `stage`
+/// covering at least `rows · NR`). Split out so batched sweeps can reuse one
+/// set of buffers across batches — re-initialising the 16 KiB panel per
+/// 2-kMAC batch would otherwise dominate the arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_small_rows(
+    i0: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_block: &mut [f32],
+    panel: &mut [f32],
+    stage: &mut [f32],
+) {
+    let mr_rows = c_block.len() / n;
+    let stage = &mut stage[..mr_rows * NR];
+    for (s, c_row) in stage.chunks_exact_mut(NR).zip(c_block.chunks_exact(n)) {
+        s[..n].copy_from_slice(c_row);
+        s[n..].fill(0.0);
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        // panel[kk][j] = b[j*k + k0+kk] for j < n, zero-padded to NR.
+        for (kk, dst) in panel.chunks_exact_mut(NR).take(kc).enumerate() {
+            for (j, d) in dst.iter_mut().enumerate().take(n) {
+                *d = b[j * k + k0 + kk];
+            }
+            dst[n..].fill(0.0);
+        }
+        let mut r = 0;
+        while r < mr_rows {
+            let mr = MR.min(mr_rows - r);
+            micro_tile::<false>(mr, kc, a, (i0 + r) * k + k0, k, panel, 0, NR, stage, r * NR, NR);
+            r += mr;
+        }
+        k0 += KC;
+    }
+    for (s, c_row) in stage.chunks_exact(NR).zip(c_block.chunks_exact_mut(n)) {
+        c_row.copy_from_slice(&s[..n]);
     }
 }
 
@@ -423,6 +608,13 @@ enum Kind {
 /// tiled + row-parallel for large. Bitwise-identical across all three paths.
 fn gemm_dispatch(kind: Kind, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let macs = m * k * n;
+    // Narrow-output and sub-tile `a·bᵀ` products otherwise run entirely as
+    // scalar dots; the packed saxpy kernel is bitwise-identical and part of
+    // the fused path (the reference path keeps the pre-fusion behaviour).
+    if matches!(kind, Kind::Nt) && macs > 0 && n < NR && fused::enabled() {
+        gemm_nt_small(m, k, n, a, b, c);
+        return;
+    }
     if macs < TILE_MIN_MACS || k == 0 || n == 0 || m == 0 {
         match kind {
             Kind::Nn => reference::gemm(m, k, n, a, b, c),
@@ -469,14 +661,29 @@ fn bmm_dispatch(
     let per_batch_macs = m * k * n;
     let total_macs = bt * per_batch_macs;
     let batch_grain = PAR_GRAIN_MACS.div_ceil(per_batch_macs.max(1)).max(1);
+    // Same gate as gemm_dispatch; resolved once so the per-batch loops stay
+    // branch-free. Scratch for the small-NT kernel is shared across batches —
+    // per-call buffers would re-initialise a 16 KiB panel per tiny batch.
+    let small_nt = matches!(kind, Kind::Nt) && n < NR && per_batch_macs > 0;
+    let small_nt_fused = small_nt && m * NR <= SMALL_STAGE && fused::enabled();
     if total_macs >= PAR_MIN_MACS && bt >= 2 * batch_grain {
         // Batch-parallel: each worker runs whole serial GEMMs on its slice.
         par::parallel_rows(c, m * n, batch_grain, 1, |b0, c_chunk| {
+            let mut panel = [0.0f32; KC * NR];
+            let mut stage = [0.0f32; SMALL_STAGE];
             for (idx, c_one) in c_chunk.chunks_mut(m * n).enumerate() {
                 let bi = b0 + idx;
                 let a_one = &a[bi * a_sz..(bi + 1) * a_sz];
                 let b_one = &b[bi * b_sz..(bi + 1) * b_sz];
-                if per_batch_macs < TILE_MIN_MACS {
+                if small_nt_fused {
+                    gemm_nt_small_rows(0, k, n, a_one, b_one, c_one, &mut panel, &mut stage);
+                } else if small_nt {
+                    if fused::enabled() {
+                        gemm_nt_small(m, k, n, a_one, b_one, c_one);
+                    } else {
+                        reference::gemm_nt(m, k, n, a_one, b_one, c_one);
+                    }
+                } else if per_batch_macs < TILE_MIN_MACS {
                     match kind {
                         Kind::Nn => reference::gemm(m, k, n, a_one, b_one, c_one),
                         Kind::Nt => reference::gemm_nt(m, k, n, a_one, b_one, c_one),
@@ -491,6 +698,23 @@ fn bmm_dispatch(
                 }
             }
         });
+    } else if small_nt_fused {
+        // Tiny-batch a·bᵀ sweep below the parallel threshold: one shared
+        // panel + staging tile across all batches.
+        let mut panel = [0.0f32; KC * NR];
+        let mut stage = [0.0f32; SMALL_STAGE];
+        for bi in 0..bt {
+            gemm_nt_small_rows(
+                0,
+                k,
+                n,
+                &a[bi * a_sz..(bi + 1) * a_sz],
+                &b[bi * b_sz..(bi + 1) * b_sz],
+                &mut c[bi * m * n..(bi + 1) * m * n],
+                &mut panel,
+                &mut stage,
+            );
+        }
     } else {
         // Few/large batches: let each GEMM parallelise internally.
         for bi in 0..bt {

@@ -6,33 +6,33 @@
 //! input position (or its own row), so the parallel split is bitwise-identical
 //! to serial at any thread count.
 
-use crate::{par, Shape, Tensor};
+use crate::{fused, par, Shape, Tensor};
 
 /// Minimum elements per thread for cheap elementwise ops (add/mul/map):
 /// below ~2 grains the spawn overhead exceeds the arithmetic.
-const ELEM_GRAIN: usize = 16 * 1024;
+pub(crate) const ELEM_GRAIN: usize = 16 * 1024;
 /// Minimum elements per thread for transcendental row ops (softmax's `exp`
 /// is ~10× the cost of an add, so it pays off earlier).
-const EXP_GRAIN: usize = 2 * 1024;
+pub(crate) const EXP_GRAIN: usize = 2 * 1024;
 
 impl Tensor {
     /// Elementwise binary operation on same-shape tensors.
-    fn zip_with(&self, other: &Tensor, op: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+    pub fn zip_with(&self, other: &Tensor, op: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert!(
             self.shape().same_as(other.shape()),
             "elementwise op shape mismatch: {} vs {}",
             self.shape(),
             other.shape()
         );
-        let mut data = vec![0.0f32; self.numel()];
-        par::parallel_fill(&mut data, ELEM_GRAIN, |range, chunk| {
+        let mut out = Tensor::uninit(self.dims());
+        par::parallel_fill(out.data_mut(), ELEM_GRAIN, |range, chunk| {
             let a = &self.data()[range.clone()];
             let b = &other.data()[range];
             for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
                 *o = op(x, y);
             }
         });
-        Tensor::from_vec(data, self.dims())
+        out
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -67,16 +67,19 @@ impl Tensor {
 
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let mut data = vec![0.0f32; self.numel()];
-        par::parallel_fill(&mut data, ELEM_GRAIN, |range, chunk| {
+        let mut out = Tensor::uninit(self.dims());
+        par::parallel_fill(out.data_mut(), ELEM_GRAIN, |range, chunk| {
             for (o, &v) in chunk.iter_mut().zip(&self.data()[range]) {
                 *o = f(v);
             }
         });
-        Tensor::from_vec(data, self.dims())
+        out
     }
 
     /// In-place `self += alpha * other`. Panics on shape mismatch.
+    ///
+    /// Element `i` of the output depends only on element `i` of the inputs,
+    /// so the parallel split is bitwise-identical to serial.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert!(
             self.shape().same_as(other.shape()),
@@ -84,9 +87,25 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        self.axpy_flat(alpha, other);
+    }
+
+    /// `self += alpha · other` over the flat element order, ignoring shape:
+    /// the rank-agnostic core of [`Tensor::axpy`], for gradients flowing
+    /// through layout-preserving views (reshape). Identical per-element
+    /// arithmetic and parallel split as `axpy`.
+    ///
+    /// # Panics
+    /// On element-count mismatch.
+    pub fn axpy_flat(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.numel(), other.numel(), "axpy_flat element count mismatch");
+        let src = other.data();
+        par::parallel_rows(self.data_mut(), 1, ELEM_GRAIN, 1, |start, block| {
+            let n = block.len();
+            for (a, &b) in block.iter_mut().zip(&src[start..start + n]) {
+                *a += alpha * b;
+            }
+        });
     }
 
     /// Adds a length-`n` row vector to every row of a `[.., n]` tensor.
@@ -116,13 +135,14 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose requires rank 2, got {}", self.shape());
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut data = vec![0.0f32; m * n];
+        let mut out = Tensor::uninit(&[n, m]);
+        let (src, dst) = (self.data(), out.data_mut());
         for i in 0..m {
             for j in 0..n {
-                data[j * m + i] = self.at2(i, j);
+                dst[j * m + i] = src[i * n + j];
             }
         }
-        Tensor::from_vec(data, &[n, m])
+        out
     }
 
     /// Swaps the last two axes of a rank-3 tensor.
@@ -134,23 +154,24 @@ impl Tensor {
             self.shape()
         );
         let (b, m, n) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let mut data = vec![0.0f32; b * m * n];
+        let mut out = Tensor::uninit(&[b, n, m]);
+        let (src, dst) = (self.data(), out.data_mut());
         for bi in 0..b {
             let base = bi * m * n;
             for i in 0..m {
                 for j in 0..n {
-                    data[base + j * m + i] = self.data()[base + i * n + j];
+                    dst[base + j * m + i] = src[base + i * n + j];
                 }
             }
         }
-        Tensor::from_vec(data, &[b, n, m])
+        out
     }
 
     /// Numerically stable softmax over the trailing axis.
     ///
     /// Each length-`last_dim` row is shifted by its maximum before
-    /// exponentiation, so the result is finite for any finite input and every
-    /// row sums to 1.
+    /// exponentiation (the [`fused::softmax_row`] kernel), so the result is
+    /// finite for any finite input and every row sums to 1.
     pub fn softmax_last(&self) -> Tensor {
         let n = self.shape().last_dim();
         assert!(n > 0, "softmax over an empty trailing axis");
@@ -158,16 +179,7 @@ impl Tensor {
         let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
         par::parallel_rows(out.data_mut(), n, grain_rows, 1, |_, block| {
             for chunk in block.chunks_mut(n) {
-                let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
-                for v in chunk.iter_mut() {
-                    *v = (*v - max).exp();
-                    sum += *v;
-                }
-                let inv = 1.0 / sum;
-                for v in chunk.iter_mut() {
-                    *v *= inv;
-                }
+                fused::softmax_row(chunk);
             }
         });
         out
@@ -195,14 +207,16 @@ impl Tensor {
         );
         let (na, nb) = (self.shape().last_dim(), other.shape().last_dim());
         let rows = self.shape().leading();
-        let mut data = Vec::with_capacity(rows * (na + nb));
-        for i in 0..rows {
-            data.extend_from_slice(&self.data()[i * na..(i + 1) * na]);
-            data.extend_from_slice(&other.data()[i * nb..(i + 1) * nb]);
-        }
         let mut dims = self.dims().to_vec();
         dims[r - 1] = na + nb;
-        Tensor::from_vec(data, &dims)
+        let mut out = Tensor::uninit(&dims);
+        let dst = out.data_mut();
+        for i in 0..rows {
+            let base = i * (na + nb);
+            dst[base..base + na].copy_from_slice(&self.data()[i * na..(i + 1) * na]);
+            dst[base + na..base + na + nb].copy_from_slice(&other.data()[i * nb..(i + 1) * nb]);
+        }
+        out
     }
 
     /// Splits the trailing axis at `split`: returns `(self[.., ..split], self[.., split..])`.
@@ -210,26 +224,29 @@ impl Tensor {
         let n = self.shape().last_dim();
         assert!(split <= n, "split point {split} exceeds last dim {n}");
         let rows = self.shape().leading();
-        let mut a = Vec::with_capacity(rows * split);
-        let mut b = Vec::with_capacity(rows * (n - split));
-        for i in 0..rows {
-            let row = &self.data()[i * n..(i + 1) * n];
-            a.extend_from_slice(&row[..split]);
-            b.extend_from_slice(&row[split..]);
-        }
         let r = self.rank();
         let mut da = self.dims().to_vec();
         let mut db = self.dims().to_vec();
         da[r - 1] = split;
         db[r - 1] = n - split;
-        (Tensor::from_vec(a, &da), Tensor::from_vec(b, &db))
+        let mut a = Tensor::uninit(&da);
+        let mut b = Tensor::uninit(&db);
+        for i in 0..rows {
+            let row = &self.data()[i * n..(i + 1) * n];
+            a.data_mut()[i * split..(i + 1) * split].copy_from_slice(&row[..split]);
+            b.data_mut()[i * (n - split)..(i + 1) * (n - split)].copy_from_slice(&row[split..]);
+        }
+        (a, b)
     }
 
     /// Stacks rank-`r` tensors of identical shape into one rank-`r+1` tensor.
     pub fn stack(tensors: &[Tensor]) -> Tensor {
         assert!(!tensors.is_empty(), "stack of zero tensors");
         let inner = tensors[0].shape().clone();
-        let mut data = Vec::with_capacity(tensors.len() * inner.numel());
+        let step = inner.numel();
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(inner.dims());
+        let mut out = Tensor::uninit(&dims);
         for (idx, t) in tensors.iter().enumerate() {
             assert!(
                 t.shape().same_as(&inner),
@@ -237,11 +254,9 @@ impl Tensor {
                 t.shape(),
                 inner
             );
-            data.extend_from_slice(t.data());
+            out.data_mut()[idx * step..(idx + 1) * step].copy_from_slice(t.data());
         }
-        let mut dims = vec![tensors.len()];
-        dims.extend_from_slice(inner.dims());
-        Tensor::from_vec(data, &dims)
+        out
     }
 
     /// Extracts slice `i` along the first axis of a rank-≥2 tensor,
@@ -251,8 +266,10 @@ impl Tensor {
         let n0 = self.dims()[0];
         assert!(i < n0, "index {i} out of bounds for axis of size {n0}");
         let inner: usize = self.dims()[1..].iter().product();
-        let data = self.data()[i * inner..(i + 1) * inner].to_vec();
-        Tensor::from_vec(data, &self.dims()[1..])
+        let mut out = Tensor::uninit(&self.dims()[1..]);
+        out.data_mut()
+            .copy_from_slice(&self.data()[i * inner..(i + 1) * inner]);
+        out
     }
 
     /// The shape both operands of a same-shape op must have, for diagnostics.

@@ -159,6 +159,136 @@ where
     });
 }
 
+/// Splits two output slices over the *same* disjoint row ranges and runs
+/// `f(first_row, a_block, b_block)` on each. The slices may have different
+/// row widths (`a_row_len`, `b_row_len`) but must describe the same number
+/// of rows; a block covering rows `r0..r1` receives
+/// `a[r0*a_row_len..r1*a_row_len]` and `b[r0*b_row_len..r1*b_row_len]`.
+///
+/// For kernels that produce a main output plus a per-row side product in one
+/// pass (e.g. LayerNorm forward writing the normalised rows and the
+/// `(mean, rstd)` cache), or column-parallel reductions writing two
+/// per-column outputs.
+///
+/// # Panics
+/// If either slice is not a whole number of rows, or the row counts differ.
+pub fn parallel_rows2<T, U, F>(
+    a: &mut [T],
+    a_row_len: usize,
+    b: &mut [U],
+    b_row_len: usize,
+    grain_rows: usize,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert!(a_row_len > 0 && b_row_len > 0, "row lengths must be positive");
+    assert_eq!(a.len() % a_row_len, 0, "first output not a whole number of rows");
+    assert_eq!(b.len() % b_row_len, 0, "second output not a whole number of rows");
+    let rows = a.len() / a_row_len;
+    assert_eq!(b.len() / b_row_len, rows, "row count mismatch between outputs");
+    let threads = plan_threads(rows, grain_rows);
+    if threads <= 1 {
+        if rows > 0 {
+            f(0, a, b);
+        }
+        return;
+    }
+    let per = rows.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let (mut ra, mut rb) = (a, b);
+        let mut row0 = 0usize;
+        let mut head = None;
+        let mut blocks = Vec::with_capacity(threads);
+        while row0 < rows {
+            let take = per.min(rows - row0);
+            let (ha, ta) = ra.split_at_mut(take * a_row_len);
+            let (hb, tb) = rb.split_at_mut(take * b_row_len);
+            if row0 == 0 {
+                head = Some((ha, hb));
+            } else {
+                blocks.push((row0, ha, hb));
+            }
+            (ra, rb) = (ta, tb);
+            row0 += take;
+        }
+        for (r0, ba, bb) in blocks {
+            s.spawn(move || f(r0, ba, bb));
+        }
+        if let Some((ha, hb)) = head {
+            f(0, ha, hb);
+        }
+    });
+}
+
+/// Splits four equal-length slices into the *same* disjoint contiguous
+/// per-thread ranges and runs `f(start, a_chunk, b_chunk, c_chunk, d_chunk)`
+/// on each. For fused elementwise updates over several buffers at once
+/// (e.g. the AdamW step over parameter/gradient/moment slices): element `i`
+/// of every output chunk must depend only on element `i` of the inputs, so
+/// the split stays bitwise-identical to serial at any thread count.
+///
+/// # Panics
+/// If the slice lengths differ.
+pub fn parallel_zip4<F>(
+    a: &mut [f32],
+    b: &[f32],
+    c: &mut [f32],
+    d: &mut [f32],
+    grain: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &[f32], &mut [f32], &mut [f32]) + Sync,
+{
+    let len = a.len();
+    assert!(
+        b.len() == len && c.len() == len && d.len() == len,
+        "parallel_zip4 length mismatch: {} / {} / {} / {}",
+        len,
+        b.len(),
+        c.len(),
+        d.len()
+    );
+    let threads = plan_threads(len, grain);
+    if threads <= 1 {
+        if len > 0 {
+            f(0, a, b, c, d);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let (mut ra, mut rb, mut rc, mut rd) = (a, b, c, d);
+        let mut start = 0usize;
+        let mut head = None;
+        let mut blocks = Vec::with_capacity(threads);
+        while start < len {
+            let take = chunk.min(len - start);
+            let (ha, ta) = ra.split_at_mut(take);
+            let (hb, tb) = rb.split_at(take);
+            let (hc, tc) = rc.split_at_mut(take);
+            let (hd, td) = rd.split_at_mut(take);
+            if start == 0 {
+                head = Some((ha, hb, hc, hd));
+            } else {
+                blocks.push((start, ha, hb, hc, hd));
+            }
+            (ra, rb, rc, rd) = (ta, tb, tc, td);
+            start += take;
+        }
+        for (s0, ba, bb, bc, bd) in blocks {
+            s.spawn(move || f(s0, ba, bb, bc, bd));
+        }
+        if let Some((ha, hb, hc, hd)) = head {
+            f(0, ha, hb, hc, hd);
+        }
+    });
+}
+
 /// Fills `out` by mapping `f` over per-thread subranges: `f(range, chunk)`
 /// writes `chunk` (which aliases `out[range]`). Convenience wrapper over
 /// [`parallel_rows`] for flat elementwise producers.
@@ -232,6 +362,43 @@ mod tests {
         assert_eq!(max_threads(), 3);
         set_threads(0);
         assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn parallel_rows2_splits_both_outputs_on_the_same_rows() {
+        // 37 rows; a has width 5, b has width 2. Each block must see
+        // matching row ranges in both outputs.
+        let mut a = vec![0u32; 37 * 5];
+        let mut b = vec![0u32; 37 * 2];
+        parallel_rows2(&mut a, 5, &mut b, 2, 1, |row0, ab, bb| {
+            assert_eq!(ab.len() / 5, bb.len() / 2, "blocks cover different row counts");
+            for (r, row) in ab.chunks_mut(5).enumerate() {
+                row.fill((row0 + r) as u32 + 1);
+            }
+            for (r, row) in bb.chunks_mut(2).enumerate() {
+                row.fill((row0 + r) as u32 + 1);
+            }
+        });
+        assert!(a.iter().enumerate().all(|(i, &v)| v == (i / 5) as u32 + 1));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == (i / 2) as u32 + 1));
+    }
+
+    #[test]
+    fn parallel_zip4_covers_all_elements() {
+        let mut a = vec![0.0f32; 1000];
+        let b: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let mut c = vec![0.0f32; 1000];
+        let mut d = vec![0.0f32; 1000];
+        parallel_zip4(&mut a, &b, &mut c, &mut d, 16, |start, ac, bc, cc, dc| {
+            for i in 0..ac.len() {
+                ac[i] = bc[i] + 1.0;
+                cc[i] = (start + i) as f32;
+                dc[i] = 2.0 * bc[i];
+            }
+        });
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i as f32 + 1.0));
+        assert!(c.iter().enumerate().all(|(i, &v)| v == i as f32));
+        assert!(d.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f32));
     }
 
     #[test]

@@ -56,16 +56,14 @@ impl Tensor {
     pub fn sum_last(&self) -> Tensor {
         let n = self.shape().last_dim();
         assert!(n > 0, "sum over an empty trailing axis");
-        let rows = self.shape().leading();
-        let mut data = vec![0.0f32; rows];
+        let mut out = Tensor::uninit(&self.dims()[..self.rank() - 1]);
         let grain_rows = ROW_GRAIN.div_ceil(n).max(1);
-        par::parallel_fill(&mut data, grain_rows, |range, chunk| {
+        par::parallel_fill(out.data_mut(), grain_rows, |range, chunk| {
             for (i, o) in range.zip(chunk.iter_mut()) {
                 *o = self.data()[i * n..(i + 1) * n].iter().sum();
             }
         });
-        let dims: Vec<usize> = self.dims()[..self.rank() - 1].to_vec();
-        Tensor::from_vec(data, &dims)
+        out
     }
 
     /// Mean over the trailing axis.
@@ -98,13 +96,17 @@ impl Tensor {
         assert!(self.rank() >= 1, "sum_axis0 requires rank >= 1");
         let b = self.dims()[0];
         let inner: usize = self.dims()[1..].iter().product();
-        let mut data = vec![0.0f32; inner];
+        let mut out = Tensor::zeros(&self.dims()[1..]);
         for bi in 0..b {
-            for (o, &v) in data.iter_mut().zip(&self.data()[bi * inner..(bi + 1) * inner]) {
+            for (o, &v) in out
+                .data_mut()
+                .iter_mut()
+                .zip(&self.data()[bi * inner..(bi + 1) * inner])
+            {
                 *o += v;
             }
         }
-        Tensor::from_vec(data, &self.dims()[1..])
+        out
     }
 
     /// Index of the maximum element of a rank-1 tensor.

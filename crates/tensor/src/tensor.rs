@@ -1,7 +1,7 @@
 //! The core [`Tensor`] type: an owned, contiguous, row-major `f32` array with
 //! a dynamic shape.
 
-use crate::Shape;
+use crate::{pool, Shape};
 use rand::Rng;
 use std::fmt;
 
@@ -10,10 +10,30 @@ use std::fmt;
 /// Construction validates that the data length matches the shape; all
 /// subsequent kernels can therefore index without bounds surprises. Shape
 /// mismatches in operations are programming errors and panic.
-#[derive(Clone, PartialEq)]
+///
+/// Buffers come from and return to the process-wide recycling
+/// [`pool`]: dropping a tensor files its buffer under the matching capacity
+/// class, and constructors request from there, so steady-state training
+/// reuses the same allocations window after window.
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: pool::take_copy(&self.data),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -34,13 +54,25 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// A tensor with the given shape and **unspecified** contents, drawn
+    /// from the buffer pool. For kernels that overwrite every element before
+    /// reading any; see the [`pool`] contract.
+    pub(crate) fn uninit(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: pool::take(n),
+        }
+    }
+
     /// A tensor of zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: pool::take_zeroed(n),
         }
     }
 
@@ -51,20 +83,14 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        let shape = Shape::new(dims);
-        let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        let mut t = Self::uninit(dims);
+        t.data.fill(value);
+        t
     }
 
     /// A rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::new(&[]),
-            data: vec![value],
-        }
+        Self::full(&[], value)
     }
 
     /// The `n × n` identity matrix.
@@ -78,25 +104,28 @@ impl Tensor {
 
     /// Samples every element i.i.d. uniformly from `[lo, hi)`.
     pub fn rand_uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
-        let shape = Shape::new(dims);
-        let n = shape.numel();
-        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { shape, data }
+        let mut t = Self::uninit(dims);
+        for v in &mut t.data {
+            *v = rng.gen_range(lo..hi);
+        }
+        t
     }
 
     /// Samples every element i.i.d. from `N(0, std²)` using Box–Muller.
     pub fn randn<R: Rng + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Self {
-        let shape = Shape::new(dims);
-        let n = shape.numel();
-        let mut data = Vec::with_capacity(n);
-        while data.len() < n {
+        let mut t = Self::uninit(dims);
+        let n = t.numel();
+        let mut i = 0;
+        while i < n {
             let (a, b) = box_muller(rng);
-            data.push(a * std);
-            if data.len() < n {
-                data.push(b * std);
+            t.data[i] = a * std;
+            i += 1;
+            if i < n {
+                t.data[i] = b * std;
+                i += 1;
             }
         }
-        Tensor { shape, data }
+        t
     }
 
     /// The tensor's shape.
@@ -135,9 +164,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns the flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns the flat buffer (the buffer leaves
+    /// the pool's custody; dropping it frees normally).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Value of a rank-0 or single-element tensor.
@@ -186,7 +216,7 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: self.data.clone(),
+            data: pool::take_copy(&self.data),
         }
     }
 
@@ -211,12 +241,12 @@ impl Tensor {
     /// # Panics
     /// If any row's length differs from `width`.
     pub fn from_rows(rows: &[&[f32]], width: usize) -> Tensor {
-        let mut data = Vec::with_capacity(rows.len() * width);
+        let mut t = Tensor::uninit(&[rows.len(), width]);
         for (idx, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), width, "row {idx} has length {} != {width}", r.len());
-            data.extend_from_slice(r);
+            t.data[idx * width..(idx + 1) * width].copy_from_slice(r);
         }
-        Tensor::from_vec(data, &[rows.len(), width])
+        t
     }
 
     /// True if every element is finite (no NaN/±∞).

@@ -50,6 +50,29 @@ proptest! {
     }
 
     #[test]
+    fn softmax_is_stable_under_large_row_offsets(
+        a in matrix(3, 8),
+        magnitude in 80.0f32..3.0e4,
+        flip in 0u32..2,
+    ) {
+        let offset = if flip == 0 { magnitude } else { -magnitude };
+        // Without the max-subtract rewrite, exp(x) overflows to inf (or
+        // flushes every entry to 0) long before |x| reaches 1e4. Shifting a
+        // whole row must leave the softmax a distribution: shift-invariance
+        // means the result should also stay close to the unshifted one.
+        let base = a.softmax_last();
+        let shifted = a.add_scalar(offset).softmax_last();
+        prop_assert!(shifted.all_finite());
+        for i in 0..3 {
+            let row = shifted.row(i);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", i, sum);
+        }
+        prop_assert!(base.max_abs_diff(&shifted) < 1e-3);
+    }
+
+    #[test]
     fn softmax_preserves_argmax(a in matrix(1, 8)) {
         let s = a.softmax_last();
         prop_assert_eq!(a.argmax(), s.argmax());

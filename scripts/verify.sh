@@ -27,4 +27,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> focus-lint crates/ src/"
 cargo run -q -p focus-lint --release -- crates/ src/
 
+# Steady-state train-step benchmark: measures the fused/pooled path against
+# the reference path at 1/2/4 threads and rewrites BENCH_trainstep.json.
+# Asserts internally that steady-state training performs zero fresh pool
+# allocations, so a pool regression fails verification here too.
+echo "==> cargo bench -p focus-bench --bench trainstep"
+cargo bench -p focus-bench --bench trainstep
+
 echo "verify: OK"
