@@ -20,6 +20,7 @@ impl Graph {
     /// # Panics
     /// If `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
+        focus_trace::span!("autograd/backward");
         assert_eq!(
             self.nodes[loss.0].value.numel(),
             1,

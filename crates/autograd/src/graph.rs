@@ -100,6 +100,9 @@ impl Graph {
     /// once and stay there. All `Var` handles from before the reset are
     /// invalidated.
     pub fn reset(&mut self) {
+        // Dropping the node tensors hands their buffers back to the pool, so
+        // this span is where per-step reclamation cost shows up.
+        focus_trace::span!("pool/reclaim");
         self.nodes.clear();
         self.grads.clear();
     }

@@ -116,6 +116,7 @@ impl ParamStore {
     /// Parameters whose leaves received no gradient (unused in this step's
     /// forward pass) are left untouched.
     pub fn step<O: Optimizer>(&mut self, opt: &mut O, g: &Graph, vars: &ParamVars) {
+        focus_trace::span!("autograd/optimizer");
         opt.begin_step(self.tensors.len());
         for (i, var) in vars.vars.iter().enumerate() {
             if let Some(grad) = g.grad(*var) {

@@ -6,26 +6,26 @@
 //!   index kernel (and the matching backward: dense `bmm_tn` vs
 //!   `route_scatter_add`).
 //!
-//! Rewrites `BENCH_assign.json` at the repository root so the numbers are
-//! tracked alongside the code; equality flags record that the fast paths
-//! returned the same assignments / bitwise-identical tensors in this run.
+//! Rewrites `BENCH_assign.json` at the repository root — a schema-versioned
+//! [`focus_trace::report::RunReport`] — so the numbers are tracked alongside
+//! the code; equality metrics record that the fast paths returned the same
+//! assignments / bitwise-identical tensors in this run.
 
 use focus_cluster::{ClusterConfig, Objective, ProtoUpdate};
 use focus_tensor::{par, route, Tensor};
+use focus_trace::clock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Best-of-`reps` wall time of `f`, in nanoseconds, after one warm-up call.
 fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     f();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let start = Instant::now();
+        let start = clock::now_ns();
         f();
-        best = best.min(start.elapsed().as_nanos() as f64);
+        best = best.min(clock::now_ns().saturating_sub(start) as f64);
     }
     best
 }
@@ -61,13 +61,13 @@ impl Sweep {
         }
     }
 
-    fn json(&self, out: &mut String) {
-        let _ = write!(out, "  \"{}\": {{\n    \"naive_ns\": {:.0},\n", self.label, self.naive_ns);
+    fn to_report(&self, report: &mut focus_trace::report::RunReport) {
+        report.metric(&format!("{}/naive_ns", self.label), self.naive_ns);
         for &(t, ns) in &self.fast {
-            let _ = writeln!(out, "    \"fast_t{t}_ns\": {ns:.0},");
+            report.metric(&format!("{}/fast_t{t}_ns", self.label), ns);
         }
-        let _ = writeln!(out, "    \"speedup_1_thread\": {:.3},", self.naive_ns / self.fast_t1());
-        let _ = write!(out, "    \"output_match\": {}\n  }}", self.matches);
+        report.metric(&format!("{}/speedup_1_thread", self.label), self.naive_ns / self.fast_t1());
+        report.metric(&format!("{}/output_match", self.label), f64::from(u8::from(self.matches)));
     }
 }
 
@@ -172,18 +172,17 @@ fn main() {
         s.report();
     }
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"host_cores\": {cores},");
-    assign.json(&mut json);
-    json.push_str(",\n");
-    for (i, s) in routing.iter().enumerate() {
-        s.json(&mut json);
-        json.push_str(if i + 1 < routing.len() { ",\n" } else { "\n" });
+    let mut report = focus_trace::report::RunReport::new("assign");
+    report
+        .setting("assign", "20000x32 segments, k=64, rec+corr(0.2)")
+        .setting("routing", "b=64, l=128, k=64, d=64");
+    assign.to_report(&mut report);
+    for s in &routing {
+        s.to_report(&mut report);
     }
-    json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_assign.json");
-    match std::fs::write(path, &json) {
+    match report.write(path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

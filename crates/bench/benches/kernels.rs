@@ -4,26 +4,27 @@
 //! the nearest-prototype `assign_all` sweep.
 //!
 //! Besides printing per-config timings, the run rewrites
-//! `BENCH_kernels.json` at the repository root so the numbers are tracked
+//! `BENCH_kernels.json` at the repository root — a schema-versioned
+//! [`focus_trace::report::RunReport`] — so the numbers are tracked
 //! alongside the code. Thread scaling beyond the host's core count cannot
-//! speed anything up, so the JSON records the core count next to the sweep.
+//! speed anything up, so the report records the core count next to the
+//! sweep.
 
 use focus_cluster::{ClusterConfig, Objective, ProtoUpdate};
 use focus_tensor::{par, reference, Tensor};
+use focus_trace::clock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Best-of-`reps` wall time of `f`, in nanoseconds, after one warm-up call.
 fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     f();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let start = Instant::now();
+        let start = clock::now_ns();
         f();
-        best = best.min(start.elapsed().as_nanos() as f64);
+        best = best.min(clock::now_ns().saturating_sub(start) as f64);
     }
     best
 }
@@ -56,15 +57,14 @@ impl Sweep {
         }
     }
 
-    fn json(&self, out: &mut String) {
-        let _ = write!(out, "  \"{}\": {{\n    \"naive_ns\": {:.0},\n", self.label, self.naive_ns);
+    fn to_report(&self, report: &mut focus_trace::report::RunReport) {
+        report.metric(&format!("{}/naive_ns", self.label), self.naive_ns);
         for &(t, ns) in &self.tiled {
-            let _ = writeln!(out, "    \"tiled_t{t}_ns\": {ns:.0},");
+            report.metric(&format!("{}/tiled_t{t}_ns", self.label), ns);
         }
-        let _ = write!(
-            out,
-            "    \"tiling_speedup_1_thread\": {:.3}\n  }}",
-            self.naive_ns / self.tiled_t1()
+        report.metric(
+            &format!("{}/tiling_speedup_1_thread", self.label),
+            self.naive_ns / self.tiled_t1(),
         );
     }
 }
@@ -161,17 +161,17 @@ fn main() {
     }
     assign.report();
 
-    let mut json = String::from("{\n");
-    let _ = write!(json, "  \"host_cores\": {cores},\n  \"shape\": \"256x256x256\",\n");
+    let mut report = focus_trace::report::RunReport::new("kernels");
+    report
+        .setting("shape", "256x256x256")
+        .setting("assign", "20000x32 segments, k=64, rec-only");
     for s in &gemm {
-        s.json(&mut json);
-        json.push_str(",\n");
+        s.to_report(&mut report);
     }
-    assign.json(&mut json);
-    json.push_str("\n}\n");
+    assign.to_report(&mut report);
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    match std::fs::write(path, &json) {
+    match report.write(path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -16,8 +16,18 @@
 //! sample the same background-load conditions instead of whichever phase of
 //! the machine's mood their contiguous run landed on.
 //!
-//! The run rewrites `BENCH_trainstep.json` at the repository root, including
-//! the steady-state pool counters proving the zero-allocation invariant.
+//! On top of the timings, the run exercises the `focus-trace` observability
+//! layer end to end and asserts its contract:
+//!
+//! * a traced run covers the six core phases (forward / backward / optimizer
+//!   / assignment / routing / pool reclaim);
+//! * the projected cost of *disabled* tracing stays under 2% of a step;
+//! * the span tree's structure and counters are identical at 1/2/4 threads;
+//! * enabled-but-unread tracing changes no model parameter bitwise.
+//!
+//! The run rewrites `BENCH_trainstep.json` at the repository root as a
+//! schema-versioned [`focus_trace::report::RunReport`], including the
+//! steady-state pool counters proving the zero-allocation invariant.
 
 use focus_autograd::{self as autograd, AdamW, Graph};
 use focus_core::forecaster::normalise_target;
@@ -26,14 +36,25 @@ use focus_core::Forecaster;
 use focus_data::{Benchmark, MtsDataset, Split};
 use focus_nn::revin::instance_norm;
 use focus_tensor::{par, pool};
-use std::fmt::Write as _;
+use focus_trace::clock;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Steps per timed block; one block is the unit of comparison.
 const BLOCK: usize = 4;
 /// Interleaved rounds; each round times one block per mode.
 const ROUNDS: usize = 15;
+/// Steps per traced run (span-coverage, thread-sweep and bitwise checks).
+const TRACE_STEPS: usize = 6;
+
+/// The six span names the trace contract promises a train step covers.
+const CORE_SPANS: [&str; 6] = [
+    "model/forward",
+    "autograd/backward",
+    "autograd/optimizer",
+    "cluster/assign",
+    "model/routing",
+    "pool/reclaim",
+];
 
 fn fmt_ms(ns: f64) -> String {
     format!("{:.3} ms", ns / 1e6)
@@ -88,11 +109,20 @@ impl Harness {
 
     /// Times one block of steps, returning ns per step.
     fn block_ns(&mut self) -> f64 {
-        let start = Instant::now();
+        let start = clock::now_ns();
         for _ in 0..BLOCK {
             self.step();
         }
-        start.elapsed().as_nanos() as f64 / BLOCK as f64
+        clock::now_ns().saturating_sub(start) as f64 / BLOCK as f64
+    }
+
+    /// Every parameter's raw bits, for bitwise-equality checks.
+    fn param_bits(&self) -> Vec<(String, Vec<u32>)> {
+        self.model
+            .params()
+            .iter()
+            .map(|(_, name, t)| (name.to_string(), t.data().iter().map(|v| v.to_bits()).collect()))
+            .collect()
     }
 }
 
@@ -109,6 +139,38 @@ fn sweep_threads() -> Vec<usize> {
         ts.push(max);
     }
     ts
+}
+
+/// Runs `TRACE_STEPS` traced steps on a fresh harness, returning the span
+/// structure signature and the thread-invariant counters (the `pool/`
+/// counters depend on which thread first touched each size class, so they
+/// are excluded from cross-thread equality).
+fn traced_run() -> (String, Vec<(&'static str, u64)>) {
+    let mut h = Harness::new();
+    focus_trace::set_enabled(true);
+    focus_trace::reset();
+    for _ in 0..TRACE_STEPS {
+        h.step();
+    }
+    let signature = focus_trace::structure_signature(&focus_trace::snapshot_spans());
+    let counters: Vec<(&'static str, u64)> = focus_trace::snapshot_counters()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("pool/"))
+        .collect();
+    focus_trace::set_enabled(false);
+    (signature, counters)
+}
+
+/// Measures the cost of one *disabled* trace call (a single relaxed atomic
+/// load) in ns, by timing a tight span_guard loop with tracing off.
+fn disabled_call_ns() -> f64 {
+    assert!(!focus_trace::enabled(), "overhead probe must run with tracing off");
+    let iters = 4_000_000u64;
+    let start = clock::now_ns();
+    for _ in 0..iters {
+        black_box(focus_trace::span_guard("bench/overhead-probe"));
+    }
+    clock::now_ns().saturating_sub(start) as f64 / iters as f64
 }
 
 fn main() {
@@ -175,27 +237,122 @@ fn main() {
         after.push((t, best));
         println!("after  (pool + fused, {t} threads): {}", fmt_ms(best));
     }
-    par::set_threads(0);
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"host_cores\": {cores},");
-    let _ = writeln!(
-        json,
-        "  \"model\": \"FOCUS dual-branch, 32 entities, L=96, p=8, k=8, d=32, m=6, horizon=24\","
-    );
-    let _ = writeln!(json, "  \"step\": \"instance_norm + forward + mse + backward + adamw\",");
-    let _ = writeln!(json, "  \"interleaved_rounds\": {ROUNDS},");
-    let _ = writeln!(json, "  \"block_steps\": {BLOCK},");
-    let _ = writeln!(json, "  \"before_1_thread_ns\": {before_ns:.0},");
-    for &(t, ns) in &after {
-        let _ = writeln!(json, "  \"after_t{t}_ns\": {ns:.0},");
+    // ---- trace contract: bitwise neutrality ------------------------------
+    // Two identical harnesses, one stepped with tracing enabled (and never
+    // read mid-run), one with it disabled: every parameter must come out
+    // bit-identical. Traced values never feed model computation.
+    par::set_threads(1);
+    let mut plain = Harness::new();
+    for _ in 0..TRACE_STEPS {
+        plain.step();
     }
-    let _ = writeln!(json, "  \"steady_state_steps\": {steady_steps},");
-    let _ = writeln!(json, "  \"steady_state_fresh_allocs\": {fresh_total},");
-    let _ = write!(json, "  \"speedup_1_thread\": {:.3}\n}}\n", before_ns / after1_ns);
+    let mut traced = Harness::new();
+    focus_trace::set_enabled(true);
+    focus_trace::reset();
+    for _ in 0..TRACE_STEPS {
+        traced.step();
+    }
+    focus_trace::set_enabled(false);
+    let (pb, tb) = (plain.param_bits(), traced.param_bits());
+    assert_eq!(pb.len(), tb.len(), "param stores must be congruent");
+    for ((pn, pv), (tn, tv)) in pb.iter().zip(&tb) {
+        assert_eq!(pn, tn, "param order must match");
+        assert_eq!(pv, tv, "tracing changed parameter {pn} bitwise");
+    }
+    println!("trace neutrality: {} params bitwise-identical traced vs untraced", pb.len());
+
+    // ---- trace contract: span coverage + per-phase table -----------------
+    // Reuse the traced run just recorded: it must cover the six core phases.
+    focus_trace::set_enabled(true);
+    pool::publish_trace_stats();
+    focus_trace::set_enabled(false);
+    let spans = focus_trace::snapshot_spans();
+    let flat = focus_trace::flatten_spans(&spans);
+    for want in CORE_SPANS {
+        assert!(
+            flat.iter().any(|&(name, calls, _)| name == want && calls > 0),
+            "traced train step must record span {want}; saw {:?}",
+            flat.iter().map(|f| f.0).collect::<Vec<_>>()
+        );
+    }
+    let distinct = {
+        let mut names: Vec<&str> = flat.iter().map(|f| f.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    };
+    assert!(distinct >= 6, "span tree too shallow: {distinct} distinct spans");
+    println!("\nper-phase profile over {TRACE_STEPS} traced steps ({distinct} distinct spans):");
+    print!("{}", focus_trace::report::phase_table(&spans));
+
+    // ---- trace contract: disabled overhead < 2% of a step ----------------
+    // api_calls counts the enabled-path invocations of the run above, i.e.
+    // exactly the instrumentation sites a disabled step crosses. Each one
+    // costs a single relaxed atomic load when tracing is off.
+    let calls_before = focus_trace::api_calls();
+    focus_trace::set_enabled(true);
+    focus_trace::reset();
+    traced.step();
+    focus_trace::set_enabled(false);
+    let calls_per_step = focus_trace::api_calls() - calls_before;
+    let per_call = disabled_call_ns();
+    let overhead_ns = calls_per_step as f64 * per_call;
+    let overhead_frac = overhead_ns / after1_ns;
+    println!(
+        "disabled-trace overhead: {calls_per_step} sites/step x {per_call:.2} ns = {:.0} ns ({:.3}% of a {} step)",
+        overhead_ns,
+        overhead_frac * 100.0,
+        fmt_ms(after1_ns),
+    );
+    assert!(
+        overhead_frac < 0.02,
+        "disabled tracing must stay under 2% of a step (got {:.2}%)",
+        overhead_frac * 100.0
+    );
+
+    // ---- trace contract: thread-invariant structure ----------------------
+    // The span tree (names + call counts) and all non-pool counters must be
+    // identical at 1, 2 and 4 threads — only timings may differ.
+    let (sig1, ctr1) = {
+        par::set_threads(1);
+        traced_run()
+    };
+    for t in [2usize, 4] {
+        par::set_threads(t);
+        let (sig, ctr) = traced_run();
+        assert_eq!(sig, sig1, "span structure diverged at {t} threads");
+        assert_eq!(ctr, ctr1, "counters diverged at {t} threads");
+    }
+    par::set_threads(0);
+    println!("span tree + counters identical at 1/2/4 threads ({} counters)", ctr1.len());
+
+    // ---- schema-versioned run report -------------------------------------
+    let mut report = focus_trace::report::RunReport::new("trainstep");
+    report
+        .setting("model", "FOCUS dual-branch, 32 entities, L=96, p=8, k=8, d=32, m=6, horizon=24")
+        .setting("step", "instance_norm + forward + mse + backward + adamw")
+        .setting("interleaved_rounds", ROUNDS)
+        .setting("block_steps", BLOCK)
+        .setting("trace_steps", TRACE_STEPS)
+        .metric("before_1_thread_ns", before_ns)
+        .metric("steady_state_steps", steady_steps as f64)
+        .metric("steady_state_fresh_allocs", fresh_total as f64)
+        .metric("speedup_1_thread", before_ns / after1_ns)
+        .metric("trace_calls_per_step", calls_per_step as f64)
+        .metric("disabled_trace_overhead_ns", overhead_ns)
+        .metric("disabled_trace_overhead_frac", overhead_frac);
+    for &(t, ns) in &after {
+        report.metric(&format!("after_t{t}_ns"), ns);
+    }
+    // Fold the pool's steady-state stats into the captured counters.
+    focus_trace::set_enabled(true);
+    pool::publish_trace_stats();
+    focus_trace::set_enabled(false);
+    report.capture_trace();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trainstep.json");
-    match std::fs::write(path, &json) {
+    match report.write(path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -11,7 +11,7 @@ use focus_bench::settings::{self, Cli};
 use focus_cluster::{segment_matrix, ClusterConfig, Objective};
 use focus_core::{Focus, FocusConfig, Forecaster};
 use focus_data::{Benchmark, MtsDataset, Split};
-use std::time::Instant;
+use focus_trace::clock;
 
 fn main() {
     let cli = Cli::parse();
@@ -44,13 +44,13 @@ fn main() {
             let n_seeds = 3u64;
             let (mut mse, mut mae, mut offline_ms) = (0.0f64, 0.0f64, 0.0f64);
             for seed in 0..n_seeds {
-                let t0 = Instant::now();
+                let t0 = clock::now_ns();
                 let protos = ClusterConfig::new(cfg.n_prototypes, cfg.segment_len)
                     .with_objective(objective)
                     .with_update(cfg.cluster_update)
                     .with_max_iters(cfg.cluster_iters)
                     .fit(&segments, settings::seed_for("fig8-cluster", seed));
-                offline_ms += t0.elapsed().as_secs_f64() * 1e3;
+                offline_ms += clock::now_ns().saturating_sub(t0) as f64 / 1e6;
 
                 // Identical online training on top of each prototype set.
                 let mut model =

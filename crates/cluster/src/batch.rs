@@ -23,7 +23,7 @@
 //! `tests/properties.rs` pin both claims down.
 
 use crate::objective::Objective;
-use focus_tensor::{par, raw, Tensor};
+use focus_tensor::{par, raw, stats, Tensor};
 
 /// Rows of the distance matrix computed per block: bounds the live
 /// `[block, k]` scratch while keeping each GEMM big enough to tile well.
@@ -85,12 +85,21 @@ fn sq_norm(v: &[f32]) -> f32 {
 
 /// Writes `(v − mean) / ‖v − mean‖` into `out`; all-zero when `v` is
 /// (numerically) constant, matching `stats::pearson`'s zero-variance
-/// convention. Statistics accumulate in f64 like the scalar path.
+/// convention — the shared scale-aware [`stats::zero_variance`] floor, so a
+/// constant row of large magnitude (whose mean-rounding residue leaves
+/// `sxx` tiny but positive) normalises to zero instead of a noise-only
+/// garbage unit vector. Statistics accumulate in f64 like the scalar path.
 fn center_normalise(v: &[f32], out: &mut [f32]) {
     let n = v.len() as f64;
     let mean = v.iter().map(|&x| x as f64).sum::<f64>() / n;
-    let sxx: f64 = v.iter().map(|&x| (x as f64 - mean) * (x as f64 - mean)).sum();
-    if sxx <= f64::EPSILON {
+    let mut sxx = 0.0f64;
+    let mut max_abs = 0.0f64;
+    for &x in v {
+        let d = x as f64 - mean;
+        sxx += d * d;
+        max_abs = max_abs.max((x as f64).abs());
+    }
+    if stats::zero_variance(sxx, v.len(), max_abs) {
         out.fill(0.0);
         return;
     }
@@ -188,7 +197,9 @@ pub(crate) fn distance_matrix(segments: &Tensor, cache: &CenterCache) -> Tensor 
 /// `out[i] = (argmin_j d_ij, min_j d_ij)` with the lowest-index tie-break
 /// (strict `<` over ascending `j`, exactly like the scalar oracle).
 pub(crate) fn assign_batched(segments: &Tensor, cache: &CenterCache, out: &mut [(usize, f32)]) {
+    focus_trace::span!("cluster/assign");
     let n = segments.dims()[0];
+    focus_trace::counter_add("cluster/segments_assigned", n as u64);
     assert_eq!(out.len(), n, "output length {} != segment count {n}", out.len());
     let k = cache.k;
     for_each_block(segments, cache, |r0, rows, block| {
@@ -259,6 +270,53 @@ mod tests {
         assert!((d.at2(0, 0) - 0.5).abs() < 1e-6, "flat-vs-flat must cost α·(1−0)");
         let scalar = obj.distance(segs.row(0), centers.row(1));
         assert!((d.at2(0, 1) - scalar).abs() < 1e-4 * scalar.max(1.0));
+    }
+
+    #[test]
+    fn large_magnitude_constant_rows_normalise_to_zero() {
+        // A constant row at |v| ≈ 1e8: the f64 mean rounds, leaving residuals
+        // of order ε₆₄·|v| whose sum of squares exceeded the old absolute
+        // f64::EPSILON guard — the row then normalised to a noise-only
+        // garbage "unit" vector. The scale-aware floor must zero it.
+        let v = vec![1.0e8f32; 6];
+        let mut out = vec![9.0f32; 6];
+        center_normalise(&v, &mut out);
+        assert_eq!(out, vec![0.0; 6], "constant row must normalise to all-zero");
+
+        // One real f32 step at the same magnitude is signal, not noise: the
+        // result must be a genuine unit vector.
+        let step = f32::from_bits(1.0e8f32.to_bits() + 1);
+        let w = [1.0e8, step, 1.0e8, step, 1.0e8, step];
+        let mut unit = vec![0.0f32; 6];
+        center_normalise(&w, &mut unit);
+        let norm: f64 = unit.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        assert!((norm - 1.0).abs() < 1e-3, "stepped row must normalise to unit, norm² = {norm}");
+    }
+
+    #[test]
+    fn large_magnitude_constant_rows_keep_distances_finite() {
+        // End-to-end: the corr GEMM on guarded rows can never produce
+        // NaN/inf, whatever the rec-term f32 cancellation does.
+        let segs = Tensor::from_vec(vec![1.0e8; 6], &[1, 6]);
+        let centers = Tensor::from_vec(
+            vec![1.0e8, 1.0e8, 1.0e8, 1.0e8, 1.0e8, 1.0e8, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            &[2, 6],
+        );
+        let obj = Objective::rec_corr(0.5);
+        let cache = CenterCache::new(&centers, &obj);
+        let d = distance_matrix(&segs, &cache);
+        for j in 0..2 {
+            assert!(d.at2(0, j).is_finite(), "d[0,{j}] must be finite, got {}", d.at2(0, j));
+        }
+        // The flat-vs-flat corr contribution is exactly α·(1−0); only the
+        // rec term carries f32 cancellation noise, which is bounded by the
+        // accumulated rounding of the ‖x‖²-scale dot products.
+        let rec_noise = 6.0 * f32::EPSILON * 2.0 * 6.0e16;
+        assert!(
+            (d.at2(0, 0) - 0.5).abs() <= rec_noise,
+            "flat-vs-flat: {} should be α + rec-cancellation noise",
+            d.at2(0, 0)
+        );
     }
 
     #[test]

@@ -152,8 +152,12 @@ impl ClusterConfig {
             self.k
         );
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a5_7e12u64.rotate_left(3));
+        focus_trace::span!("cluster/fit");
 
-        let mut centers = kmeans_pp_init(segments, self.k, &self.objective, &mut rng);
+        let mut centers = {
+            focus_trace::span!("cluster/init");
+            kmeans_pp_init(segments, self.k, &self.objective, &mut rng)
+        };
         let mut assignment = vec![usize::MAX; n];
         let mut trace = FitTrace::default();
         let mut adam = AdamState::new(self.k, p);
@@ -185,6 +189,7 @@ impl ClusterConfig {
             reseed_empty_buckets(segments, &mut centers, &mut assignment, &self.objective);
 
             // Update step (Eqs. 8–10).
+            focus_trace::span!("cluster/update");
             match self.update {
                 ProtoUpdate::ClosedFormMean => {
                     update_mean(segments, &assignment, &mut centers);

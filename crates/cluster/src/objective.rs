@@ -70,14 +70,24 @@ pub fn corr_grad_wrt_prototype(segment: &[f32], prototype: &[f32], out: &mut [f3
     let mut dot = 0.0f64;
     let mut ns2 = 0.0f64;
     let mut nc2 = 0.0f64;
+    let mut max_s = 0.0f64;
+    let mut max_c = 0.0f64;
     for (&s, &c) in segment.iter().zip(prototype) {
         let st = s as f64 - ms;
         let ct = c as f64 - mc;
         dot += st * ct;
         ns2 += st * st;
         nc2 += ct * ct;
+        max_s = max_s.max((s as f64).abs());
+        max_c = max_c.max((c as f64).abs());
     }
-    if ns2 <= f64::EPSILON || nc2 <= f64::EPSILON {
+    // Shared scale-aware floor (see `stats::zero_variance`): a constant
+    // vector of large magnitude leaves mean-rounding residue in ns2/nc2 that
+    // an absolute epsilon misses; dividing by it would make the gradient
+    // noise-driven garbage where `corr = 0` defines it as zero.
+    if stats::zero_variance(ns2, segment.len(), max_s)
+        || stats::zero_variance(nc2, prototype.len(), max_c)
+    {
         out.fill(0.0);
         return;
     }
@@ -154,6 +164,20 @@ mod tests {
         let mut grad = [9.0f32; 4];
         corr_grad_wrt_prototype(&flat, &c, &mut grad);
         assert_eq!(grad, [0.0; 4]);
+    }
+
+    #[test]
+    fn corr_gradient_is_zero_for_large_magnitude_flat_inputs() {
+        // |v| ≈ 1e8: mean rounding leaves ns2 tiny-but-positive; the
+        // scale-aware floor must still read the vector as flat.
+        let flat = [1.0e8f32; 6];
+        let c = [0.5f32, 1.0, -1.0, 0.2, 0.9, -0.3];
+        let mut grad = [9.0f32; 6];
+        corr_grad_wrt_prototype(&flat, &c, &mut grad);
+        assert_eq!(grad, [0.0; 6]);
+        let mut grad2 = [9.0f32; 6];
+        corr_grad_wrt_prototype(&c, &flat, &mut grad2);
+        assert_eq!(grad2, [0.0; 6]);
     }
 
     #[test]

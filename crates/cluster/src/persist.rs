@@ -74,44 +74,63 @@ impl Prototypes {
     }
 
     /// Parses a prototype set from the text format.
+    ///
+    /// Every [`PersistError::Format`] message carries the 1-based line number
+    /// it refers to (magic = line 1, header = line 2, prototype row `j` =
+    /// line `3 + j`). Non-finite values (NaN, ±inf) are rejected: they would
+    /// poison every distance computed against the loaded centers.
     pub fn from_text(text: &str) -> Result<Prototypes, PersistError> {
         let mut lines = text.lines();
-        let magic = lines.next().ok_or_else(|| PersistError::Format("empty file".into()))?;
+        let magic = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("line 1: empty file, expected magic".into()))?;
         if magic.trim() != MAGIC {
-            return Err(PersistError::Format(format!("bad magic line: {magic:?}")));
+            return Err(PersistError::Format(format!("line 1: bad magic line: {magic:?}")));
         }
         let header = lines
             .next()
-            .ok_or_else(|| PersistError::Format("missing header".into()))?;
+            .ok_or_else(|| PersistError::Format("line 2: missing header".into()))?;
         let fields: Vec<&str> = header.split_whitespace().collect();
         if fields.len() != 8 || fields[0] != "k" || fields[2] != "p" || fields[4] != "objective" || fields[6] != "alpha" {
-            return Err(PersistError::Format(format!("bad header: {header:?}")));
+            return Err(PersistError::Format(format!("line 2: bad header: {header:?}")));
         }
         let k: usize = fields[1]
             .parse()
-            .map_err(|_| PersistError::Format(format!("bad k: {}", fields[1])))?;
+            .map_err(|_| PersistError::Format(format!("line 2: bad k: {}", fields[1])))?;
         let p: usize = fields[3]
             .parse()
-            .map_err(|_| PersistError::Format(format!("bad p: {}", fields[3])))?;
+            .map_err(|_| PersistError::Format(format!("line 2: bad p: {}", fields[3])))?;
         let alpha: f32 = fields[7]
             .parse()
-            .map_err(|_| PersistError::Format(format!("bad alpha: {}", fields[7])))?;
+            .map_err(|_| PersistError::Format(format!("line 2: bad alpha: {}", fields[7])))?;
+        if !alpha.is_finite() {
+            return Err(PersistError::Format(format!("line 2: non-finite alpha: {}", fields[7])));
+        }
         let objective = match fields[5] {
             "rec" => Objective::RecOnly,
             "reccorr" => Objective::RecCorr { alpha },
-            other => return Err(PersistError::Format(format!("unknown objective: {other}"))),
+            other => return Err(PersistError::Format(format!("line 2: unknown objective: {other}"))),
         };
         let mut data = Vec::with_capacity(k * p);
         for j in 0..k {
-            let line = lines
-                .next()
-                .ok_or_else(|| PersistError::Format(format!("missing prototype row {j}")))?;
+            let lineno = 3 + j;
+            let line = lines.next().ok_or_else(|| {
+                PersistError::Format(format!("line {lineno}: missing prototype row {j}"))
+            })?;
             let values: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
-            let values = values.map_err(|_| PersistError::Format(format!("bad float in row {j}")))?;
+            let values = values
+                .map_err(|_| PersistError::Format(format!("line {lineno}: bad float in row {j}")))?;
             if values.len() != p {
                 return Err(PersistError::Format(format!(
-                    "row {j} has {} values, expected {p}",
+                    "line {lineno}: row {j} has {} values, expected {p}",
                     values.len()
+                )));
+            }
+            if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+                return Err(PersistError::Format(format!(
+                    "line {lineno}: non-finite value {} at column {} of row {j}",
+                    values[pos],
+                    pos + 1
                 )));
             }
             data.extend_from_slice(&values);
@@ -175,6 +194,51 @@ mod tests {
         assert!(Prototypes::from_text(&text).is_ok());
         let truncated: String = p.to_text().lines().take(2).collect::<Vec<_>>().join("\n");
         assert!(Prototypes::from_text(&truncated).is_err());
+    }
+
+    fn format_message(r: Result<Prototypes, PersistError>) -> String {
+        match r {
+            Err(PersistError::Format(msg)) => msg,
+            Err(other) => panic!("expected Format error, got {other}"),
+            Ok(_) => panic!("expected Format error, got Ok"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_position() {
+        let text = "focus-prototypes v1\nk 2 p 3 objective reccorr alpha 0.2\n1 2 3\n4 NaN 6\n";
+        let msg = format_message(Prototypes::from_text(text));
+        assert!(msg.contains("line 4"), "message lacks line number: {msg}");
+        assert!(msg.contains("non-finite"), "message lacks cause: {msg}");
+        assert!(msg.contains("column 2"), "message lacks column: {msg}");
+        let inf = "focus-prototypes v1\nk 1 p 2 objective rec alpha 0\ninf 0\n";
+        let msg = format_message(Prototypes::from_text(inf));
+        assert!(msg.contains("line 3") && msg.contains("non-finite"), "{msg}");
+        let neg = "focus-prototypes v1\nk 1 p 2 objective rec alpha 0\n0 -inf\n";
+        assert!(format_message(Prototypes::from_text(neg)).contains("non-finite"));
+    }
+
+    #[test]
+    fn rejects_non_finite_alpha() {
+        let text = "focus-prototypes v1\nk 1 p 1 objective reccorr alpha NaN\n0\n";
+        let msg = format_message(Prototypes::from_text(text));
+        assert!(msg.contains("line 2") && msg.contains("non-finite alpha"), "{msg}");
+    }
+
+    #[test]
+    fn every_format_error_names_its_line() {
+        let cases: [(&str, &str); 6] = [
+            ("", "line 1"),
+            ("wrong magic\n", "line 1"),
+            ("focus-prototypes v1\n", "line 2"),
+            ("focus-prototypes v1\nk x p 3 objective rec alpha 0\n", "line 2"),
+            ("focus-prototypes v1\nk 2 p 2 objective rec alpha 0\n1 2\n", "line 4"),
+            ("focus-prototypes v1\nk 1 p 2 objective rec alpha 0\n1 oops\n", "line 3"),
+        ];
+        for (text, expect) in cases {
+            let msg = format_message(Prototypes::from_text(text));
+            assert!(msg.contains(expect), "{text:?}: expected {expect} in {msg:?}");
+        }
     }
 
     #[test]

@@ -8,6 +8,20 @@ fn segments(n: usize, p: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-5.0f32..5.0, n * p).prop_map(move |v| Tensor::from_vec(v, &[n, p]))
 }
 
+/// Rows that may be exactly constant (wide magnitude range, including values
+/// whose f64 mean rounds), near-constant (tiny noise on a base — at large
+/// bases the noise vanishes below the f32 ulp, at small bases it survives),
+/// or ordinary random rows. Exercises the zero-variance guard on both sides.
+fn mixed_rows(n: usize, p: usize) -> impl Strategy<Value = Tensor> {
+    let row = prop_oneof![
+        (-1.0e8f32..1.0e8).prop_map(move |v| vec![v; p]),
+        ((-1.0e4f32..1.0e4), prop::collection::vec(-1.0e-6f32..1.0e-6, p))
+            .prop_map(|(base, noise)| noise.iter().map(|&e| base + e).collect()),
+        prop::collection::vec(-5.0f32..5.0, p),
+    ];
+    prop::collection::vec(row, n).prop_map(move |rows| Tensor::from_vec(rows.concat(), &[n, p]))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -162,6 +176,53 @@ proptest! {
         let segs = Tensor::from_vec(data, &[96, 8]);
         let protos = ClusterConfig::new(4, 8).with_max_iters(6).fit(&segs, seed);
         prop_assert_eq!(protos.assign_all(&segs), protos.assign_all_scalar(&segs));
+    }
+
+    #[test]
+    fn constant_and_near_constant_rows_assign_consistently(
+        segs in mixed_rows(40, 8),
+        centers in mixed_rows(6, 8),
+        alpha in 0.0f32..1.0,
+    ) {
+        // Constant (zero-variance) rows previously slipped past the
+        // normalisation guard at large magnitudes, feeding noise-only unit
+        // vectors into the correlation GEMM. Every distance must now be
+        // finite and agree with the scalar oracle to f32 roundoff of the
+        // *cancelled* terms (‖x‖² and ‖c‖², not the small result), and the
+        // two sweeps must assign identically wherever the scalar margin
+        // exceeds that roundoff.
+        let objective = if alpha < 0.05 { Objective::RecOnly } else { Objective::rec_corr(alpha) };
+        let protos = Prototypes::from_centers(centers, objective);
+        let d = protos.distances(&segs);
+        let assigned = protos.assign_all(&segs);
+        let scalar_assigned = protos.assign_all_scalar(&segs);
+        let sq = |row: &[f32]| row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        for i in 0..40 {
+            let x2 = sq(segs.row(i));
+            let mut scalar = [0.0f32; 6];
+            let mut tol_max = 0.0f32;
+            for (j, s) in scalar.iter_mut().enumerate() {
+                *s = objective.distance(segs.row(i), protos.centers().row(j));
+                prop_assert!(s.is_finite(), "scalar d[{}, {}] not finite: {}", i, j, s);
+                let g = d.at2(i, j);
+                prop_assert!(g.is_finite(), "gemm d[{}, {}] not finite: {}", i, j, g);
+                let tol = 1e-4 * ((x2 + sq(protos.centers().row(j))) as f32).max(1.0);
+                prop_assert!(
+                    (g - *s).abs() <= tol,
+                    "d[{}, {}]: gemm {} vs scalar {} (tol {})", i, j, g, s, tol
+                );
+                tol_max = tol_max.max(tol);
+            }
+            let best = (0..6).min_by(|&a, &b| scalar[a].partial_cmp(&scalar[b]).expect("finite")).expect("non-empty");
+            let margin = (0..6)
+                .filter(|&j| j != best)
+                .map(|j| scalar[j] - scalar[best])
+                .fold(f32::INFINITY, f32::min);
+            if margin > 2.0 * tol_max {
+                prop_assert_eq!(assigned[i], best, "row {} (margin {}): gemm argmin diverged", i, margin);
+                prop_assert_eq!(scalar_assigned[i], best, "row {} (margin {}): scalar argmin diverged", i, margin);
+            }
+        }
     }
 
     #[test]

@@ -161,6 +161,7 @@ pub trait Forecaster {
         for epoch in 0..opts.epochs {
             let mut total = 0.0f64;
             for w in &windows {
+                focus_trace::span!("train/step");
                 let (x_norm, stats) = instance_norm(&w.x);
                 let y_norm = normalise_target(&w.y, &stats);
                 g.reset();
@@ -204,6 +205,10 @@ pub trait Forecaster {
         } else {
             None
         };
+        if focus_trace::enabled() {
+            println!("{} training phases:", self.name());
+            print!("{}", focus_trace::report::phase_table(&focus_trace::snapshot_spans()));
+        }
         TrainReport {
             epoch_losses,
             windows_per_epoch: windows.len(),

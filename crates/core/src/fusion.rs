@@ -66,6 +66,7 @@ impl ParallelFusion {
 
     /// Fuses `h_t` and `h_e` (both `[N, l, d]`) into a forecast `[N, horizon]`.
     pub fn forward(&self, g: &mut Graph, pv: &ParamVars, h_t: Var, h_e: Var) -> Var {
+        focus_trace::span!("model/fusion");
         let n = g.value(h_t).dims()[0];
         assert_eq!(g.value(h_t).dims(), g.value(h_e).dims(), "branch shape mismatch");
         assert_eq!(g.value(h_t).dims()[2], self.d, "feature width mismatch");

@@ -208,6 +208,7 @@ impl Forecaster for Focus {
     }
 
     fn forward_window(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> Var {
+        focus_trace::span!("model/forward");
         assert_eq!(x_norm.rank(), 2, "window must be [N, L]");
         assert_eq!(
             x_norm.dims()[1],

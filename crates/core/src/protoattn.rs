@@ -138,16 +138,21 @@ impl Assignment {
     /// trainable quantity. Both variants evaluate Eq. 6 through the batched
     /// GEMM distance kernel rather than a per-pair scalar loop.
     pub fn plan(&self, segments: &Tensor, prototypes: &Prototypes) -> RoutingPlan {
+        focus_trace::span!("model/routing");
         let (b, l, p) = check_segments(segments, prototypes);
         let k = prototypes.k();
         match self {
-            Assignment::Hard => RoutingPlan::Hard {
-                indices: Assignment::indices(segments, prototypes),
-                b,
-                l,
-                k,
-            },
+            Assignment::Hard => {
+                focus_trace::counter_add("route/hard_plans", 1);
+                RoutingPlan::Hard {
+                    indices: Assignment::indices(segments, prototypes),
+                    b,
+                    l,
+                    k,
+                }
+            }
             Assignment::Soft { temperature } => {
+                focus_trace::counter_add("route/soft_plans", 1);
                 let t = temperature.max(1e-4);
                 let mut d = prototypes.distances(&segments.reshape(&[b * l, p]));
                 for row in d.data_mut().chunks_exact_mut(k) {
@@ -255,7 +260,11 @@ impl ProtoAttn {
     /// matrix. The hard path is bitwise-identical to the dense one-hot
     /// `bmm` at any thread count (see `focus_tensor::route`).
     pub fn forward(&self, g: &mut Graph, pv: &ParamVars, segments: Var, routing: &RoutingPlan) -> Var {
+        focus_trace::span!("model/protoattn");
         let dims = g.value(segments).dims().to_vec();
+        if focus_trace::enabled() && dims.len() == 3 {
+            focus_trace::counter_add("flops/protoattn_est", self.cost(dims[0], dims[1]).flops);
+        }
         assert_eq!(dims.len(), 3, "ProtoAttn expects [B, l, kv_dim] inputs");
         assert_eq!(dims[2], self.kv_dim, "ProtoAttn input width mismatch");
         assert_eq!(

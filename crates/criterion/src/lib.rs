@@ -14,8 +14,9 @@
 
 #![forbid(unsafe_code)]
 
+use focus_trace::clock;
 use std::fmt::{self, Display};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Top-level benchmark driver; one per binary.
 #[derive(Default)]
@@ -217,32 +218,34 @@ pub struct Bencher {
 }
 
 enum Mode {
-    WarmUp { until: Instant },
+    WarmUp { until_ns: u64 },
     Measure,
 }
 
 impl Bencher {
-    /// Times `routine`, running it in calibrated batches.
+    /// Times `routine`, running it in calibrated batches. All clock reads go
+    /// through `focus_trace::clock` — the workspace's one audited timer.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         match self.mode {
-            Mode::WarmUp { until } => {
+            Mode::WarmUp { until_ns } => {
                 // Also calibrates the batch size to ≥ ~1ms per batch.
                 let mut iters = 0u64;
-                let start = Instant::now();
-                while Instant::now() < until {
+                let start = clock::now_ns();
+                while clock::now_ns() < until_ns {
                     std::hint::black_box(routine());
                     iters += 1;
                 }
-                let elapsed = start.elapsed().max(Duration::from_nanos(1));
-                let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
-                self.iters_per_batch = ((1_000_000 / per_iter.max(1)) as u64).clamp(1, 1 << 20);
+                let elapsed_ns = (clock::now_ns().saturating_sub(start)).max(1);
+                let per_iter = elapsed_ns / iters.max(1);
+                self.iters_per_batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20);
             }
             Mode::Measure => {
-                let start = Instant::now();
+                let start = clock::now_ns();
                 for _ in 0..self.iters_per_batch {
                     std::hint::black_box(routine());
                 }
-                self.samples.push(start.elapsed());
+                self.samples
+                    .push(Duration::from_nanos(clock::now_ns().saturating_sub(start)));
             }
         }
     }
@@ -253,14 +256,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, cfg: MeasureConfig, mut f: 
         samples: Vec::new(),
         iters_per_batch: 1,
         mode: Mode::WarmUp {
-            until: Instant::now() + cfg.warm_up_time,
+            until_ns: clock::now_ns() + cfg.warm_up_time.as_nanos() as u64,
         },
     };
     f(&mut b);
 
     b.mode = Mode::Measure;
-    let deadline = Instant::now() + cfg.measurement_time;
-    while b.samples.len() < cfg.sample_size || Instant::now() < deadline {
+    let deadline = clock::now_ns() + cfg.measurement_time.as_nanos() as u64;
+    while b.samples.len() < cfg.sample_size || clock::now_ns() < deadline {
         f(&mut b);
         // Hard cap so pathological fast benches don't loop forever.
         if b.samples.len() >= 10_000 {

@@ -118,7 +118,11 @@ impl MtsDataset {
     }
 
     /// Supervised windows of `(lookback, horizon)` drawn from `split` at the
-    /// given stride. Windows never cross the split boundary.
+    /// given stride. Windows never cross the split boundary. The final
+    /// admissible start is always included even when `stride` does not land
+    /// on it exactly, so evaluation covers the tail of the split; the last
+    /// two windows may therefore overlap by more than `stride` allows
+    /// elsewhere.
     pub fn windows(&self, split: Split, lookback: usize, horizon: usize, stride: usize) -> Vec<Window> {
         assert!(stride > 0, "stride must be positive");
         let r = self.range(split);
@@ -131,6 +135,10 @@ impl MtsDataset {
         while s + need <= r.end {
             out.push(self.window_at(s, lookback, horizon));
             s += stride;
+        }
+        let final_start = r.end - need;
+        if out.last().is_some_and(|w| w.start < final_start) {
+            out.push(self.window_at(final_start, lookback, horizon));
         }
         out
     }
@@ -221,5 +229,25 @@ mod tests {
         let w1 = d.windows(Split::Train, 48, 12, 1).len();
         let w10 = d.windows(Split::Train, 48, 12, 10).len();
         assert!(w1 >= 9 * w10, "stride 1: {w1}, stride 10: {w10}");
+    }
+
+    #[test]
+    fn non_dividing_stride_still_covers_the_tail() {
+        // Train split is 0..600; with need = 60 the final admissible start
+        // is 540. Stride 64 steps 0, 64, …, 512 — the old code stopped
+        // there and never evaluated the last 28 steps of the split.
+        let d = ds();
+        let ws = d.windows(Split::Train, 48, 12, 64);
+        assert_eq!(ws.len(), 10, "9 strided starts plus the appended tail window");
+        let starts: Vec<usize> = ws.iter().map(|w| w.start).collect();
+        assert_eq!(starts[..9], [0, 64, 128, 192, 256, 320, 384, 448, 512]);
+        assert_eq!(*starts.last().expect("non-empty"), 540, "tail window must end at the split end");
+        // Starts stay strictly increasing: no duplicate tail when the
+        // stride lands on the final start exactly.
+        let exact = d.windows(Split::Train, 48, 12, 60);
+        let exact_starts: Vec<usize> = exact.iter().map(|w| w.start).collect();
+        assert!(exact_starts.windows(2).all(|p| p[0] < p[1]), "{exact_starts:?}");
+        assert_eq!(*exact_starts.last().expect("non-empty"), 540);
+        assert_eq!(exact.len(), 10, "dividing stride gains no duplicate window");
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for dataset invariants.
 
-use focus_data::{outliers, Benchmark, MtsDataset, Split};
-use focus_tensor::stats;
+use focus_data::{mae, mse, outliers, Benchmark, Metrics, MtsDataset, Split};
+use focus_tensor::{stats, Tensor};
 use proptest::prelude::*;
 
 proptest! {
@@ -60,6 +60,37 @@ proptest! {
         let changed = x.data().iter().zip(y.data()).filter(|(a, b)| a != b).count() as f64;
         let eligible = (2 * 400) as f64;
         prop_assert!((changed / eligible - ratio).abs() < 0.08);
+    }
+
+    #[test]
+    fn streaming_metrics_match_one_shot_on_any_partition(
+        pred in prop::collection::vec(-10.0f32..10.0, 96),
+        target in prop::collection::vec(-10.0f32..10.0, 96),
+        n in 1usize..96,
+        chunks in prop::collection::vec(1usize..9, 24),
+    ) {
+        // Feeding the same point stream through `Metrics` in arbitrary window
+        // chunks must reproduce the one-shot mse/mae on the concatenation
+        // EXACTLY: both paths fold the same f64 additions in the same order,
+        // so this is bitwise equality, not an epsilon comparison.
+        let pred = &pred[..n];
+        let target = &target[..n];
+        let mut m = Metrics::new();
+        let mut at = 0usize;
+        let mut cuts = chunks.iter().cycle();
+        while at < n {
+            let take = (*cuts.next().expect("cycle never ends")).min(n - at);
+            m.update(
+                &Tensor::from_vec(pred[at..at + take].to_vec(), &[take]),
+                &Tensor::from_vec(target[at..at + take].to_vec(), &[take]),
+            );
+            at += take;
+        }
+        let p = Tensor::from_vec(pred.to_vec(), &[n]);
+        let t = Tensor::from_vec(target.to_vec(), &[n]);
+        prop_assert_eq!(m.count(), n as u64);
+        prop_assert_eq!(m.mse().to_bits(), mse(&p, &t).to_bits(), "mse {} vs {}", m.mse(), mse(&p, &t));
+        prop_assert_eq!(m.mae().to_bits(), mae(&p, &t).to_bits(), "mae {} vs {}", m.mae(), mae(&p, &t));
     }
 
     #[test]

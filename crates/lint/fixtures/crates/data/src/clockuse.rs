@@ -1,0 +1,20 @@
+// POSITIVE fixture: clock reads are banned workspace-wide, so they must
+// fire even in a crate that is NOT in DETERMINISM_CRATES (data is not).
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now(); // clock read
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now() // clock read
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+// NEGATIVE fixture: the trace crate's clock module is the workspace's one
+// audited clock read — `Instant::now` here must produce zero findings.
+use std::time::Instant;
+
+pub fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+pub fn fresh_epoch() -> Instant {
+    Instant::now()
+}

@@ -44,6 +44,10 @@ pub struct FileCtx {
     /// `crates/tensor/src/pool.rs`, the one file allowed to allocate float
     /// buffers straight from the heap.
     pub is_pool_module: bool,
+    /// `crates/trace/src/clock.rs`, the one file allowed to read the wall
+    /// clock — every other crate routes timing through
+    /// `focus_trace::clock::now_ns`.
+    pub is_clock_module: bool,
 }
 
 impl FileCtx {
@@ -74,6 +78,7 @@ impl FileCtx {
             is_crate_root: under_src && (file_name == "lib.rs" || file_name == "main.rs"),
             is_par_module: crate_name == "tensor" && under_src && file_name == "par.rs",
             is_pool_module: crate_name == "tensor" && under_src && file_name == "pool.rs",
+            is_clock_module: crate_name == "trace" && under_src && file_name == "clock.rs",
             crate_name,
             is_test_path,
         }

@@ -5,8 +5,10 @@
 //!
 //! | rule            | invariant it guards                                        |
 //! |-----------------|------------------------------------------------------------|
-//! | `determinism`   | bitwise-identical runs: no hash-order iteration, no clock  |
-//! |                 | reads, thread spawning only in `focus_tensor::par`         |
+//! | `determinism`   | bitwise-identical runs: no hash-order iteration, thread    |
+//! |                 | spawning only in `focus_tensor::par`; clock reads are      |
+//! |                 | banned *workspace-wide* (not just in the numeric crates)   |
+//! |                 | with `crates/trace/src/clock.rs` as the sole exemption     |
 //! | `panic-hygiene` | library code fails with context: no bare `.unwrap()`,      |
 //! |                 | `panic!`, `todo!`, `unimplemented!`, or empty `.expect("")`|
 //! | `float-hygiene` | no `==`/`!=` against float literals (and no                |
@@ -54,6 +56,9 @@ pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
     }
     panic_hygiene(ctx, view, findings);
     float_hygiene(ctx, view, findings);
+    if !ctx.is_clock_module {
+        clock_discipline(ctx, view, findings);
+    }
     if DETERMINISM_CRATES.contains(&ctx.crate_name.as_str()) {
         determinism(ctx, view, findings);
     }
@@ -75,10 +80,48 @@ fn live<'v>(view: &'v CodeView<'_>) -> impl Iterator<Item = (usize, &'v Token)> 
         .map(|(j, t)| (j, *t))
 }
 
+/// Clock reads (`Instant::now`, `SystemTime`) are banned in *every*
+/// non-test file of the workspace, not just the determinism crates: a
+/// stray timestamp anywhere can leak into a numeric path or break run
+/// reproducibility. The single exemption is `crates/trace/src/clock.rs`
+/// ([`FileCtx::is_clock_module`]), the workspace's one audited clock —
+/// everything else reads time through `focus_trace::clock::now_ns`.
+/// Emits under the `determinism` rule name.
+fn clock_discipline(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant"
+                if c.get(j + 1).is_some_and(|n| n.is_op("::"))
+                    && c.get(j + 2).is_some_and(|n| n.is_ident("now")) =>
+            {
+                emit(
+                    ctx,
+                    "determinism",
+                    t.line,
+                    "clock read (Instant::now): route timing through focus_trace::clock::now_ns".into(),
+                    out,
+                )
+            }
+            "SystemTime" => emit(
+                ctx,
+                "determinism",
+                t.line,
+                "clock read (SystemTime): route timing through focus_trace::clock::now_ns".into(),
+                out,
+            ),
+            _ => {}
+        }
+    }
+}
+
 /// `determinism`: no `HashMap`/`HashSet` (iteration order is seeded per
-/// process), no `Instant::now`/`SystemTime` (clock reads make numeric paths
-/// time-dependent), and `thread::spawn`/`thread::scope` only inside
-/// `crates/tensor/src/par.rs` — the one audited fan-out point.
+/// process), and `thread::spawn`/`thread::scope` only inside
+/// `crates/tensor/src/par.rs` — the one audited fan-out point. (Clock reads
+/// are handled by [`clock_discipline`], which covers the whole workspace.)
 fn determinism(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
     let c = &view.code;
     for (j, t) in live(view) {
@@ -93,15 +136,6 @@ fn determinism(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
                 format!("{name} has seeded iteration order; use BTreeMap/BTreeSet/Vec in numeric paths"),
                 out,
             ),
-            "Instant"
-                if c.get(j + 1).is_some_and(|n| n.is_op("::"))
-                    && c.get(j + 2).is_some_and(|n| n.is_ident("now")) =>
-            {
-                emit(ctx, "determinism", t.line, "clock read (Instant::now) in a numeric path".into(), out)
-            }
-            "SystemTime" => {
-                emit(ctx, "determinism", t.line, "clock read (SystemTime) in a numeric path".into(), out)
-            }
             "spawn" | "scope"
                 if !ctx.is_par_module
                     && j >= 2

@@ -38,6 +38,28 @@ fn determinism_fixture_catches_every_seeded_violation() {
 }
 
 #[test]
+fn clock_reads_fire_outside_determinism_crates_too() {
+    // `data` is not in DETERMINISM_CRATES; the clock discipline is
+    // workspace-wide, so the reads must be flagged anyway (test regions
+    // stay exempt).
+    let f = lint_file(&fixture("crates/data/src/clockuse.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("determinism", 6),  // Instant::now()
+            ("determinism", 10), // SystemTime return type
+            ("determinism", 11), // SystemTime::now()
+        ]
+    );
+}
+
+#[test]
+fn clock_module_is_exempt_from_clock_rule() {
+    let f = lint_file(&fixture("crates/trace/src/clock.rs"));
+    assert!(f.is_empty(), "crates/trace/src/clock.rs is the audited clock: {f:?}");
+}
+
+#[test]
 fn par_module_is_exempt_from_thread_rule() {
     let f = lint_file(&fixture("crates/tensor/src/par.rs"));
     assert!(f.is_empty(), "par.rs must be allowed to spawn: {f:?}");
@@ -123,7 +145,7 @@ fn clean_fixtures_are_silent() {
 #[test]
 fn engine_run_walks_fixture_tree_deterministically() {
     let (files, findings) = run(&[fixture("crates")]);
-    assert_eq!(files, 10, "all fixture files reached");
+    assert_eq!(files, 12, "all fixture files reached");
     // one positive fixture per rule keeps the suite honest
     for rule in focus_lint::rules::RULES {
         assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");

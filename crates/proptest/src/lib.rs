@@ -75,6 +75,55 @@ pub mod strategy {
     }
 
     range_strategy!(f32, f64, usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Uniform choice between boxed strategies of one value type; built by
+    /// [`crate::prop_oneof!`]. Unlike upstream there are no weights — every
+    /// workspace use picks uniformly.
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `first` plus `rest`. The first strategy's concrete
+        /// type pins the union's value type, so the macro's boxed tail
+        /// coerces without annotations.
+        pub fn of<S>(first: S, rest: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            let mut options: Vec<Box<dyn Strategy<Value = V>>> = vec![Box::new(first)];
+            options.extend(rest);
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut StdRng) -> V {
+            use rand::Rng;
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].new_value(rng)
+        }
+    }
 }
 
 pub mod collection {
@@ -232,7 +281,16 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Picks uniformly among the listed strategies (all yielding the same value
+/// type) for each generated case. Upstream's weighted form is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::Union::of($first, vec![$(Box::new($rest) as _),*])
+    };
 }
 
 /// Declares property tests: an optional `#![proptest_config(..)]` followed by
@@ -330,6 +388,26 @@ mod tests {
             prop_assert!(s % 2 == 0 && (2..10).contains(&s));
             prop_assert_ne!(s, 1);
         }
+
+        #[test]
+        fn tuple_strategies_draw_componentwise(pair in (0usize..4, 10usize..14)) {
+            prop_assert!(pair.0 < 4 && (10..14).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_branches(x in prop_oneof![0usize..3, 10usize..13]) {
+            prop_assert!(x < 3 || (10..13).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn oneof_reaches_every_branch() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let s = prop_oneof![crate::strategy::Just(1usize), crate::strategy::Just(2usize)];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let draws: Vec<usize> = (0..64).map(|_| s.new_value(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2), "both branches must be reachable");
     }
 
     #[test]

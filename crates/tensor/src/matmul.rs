@@ -476,6 +476,7 @@ pub mod raw {
         c: &mut [f32],
     ) {
         use super::{Kind, NR, SMALL_STAGE};
+        focus_trace::counter_add("gemm/nt_bcast", 1);
         assert_eq!(a.len(), m * k, "gemm_nt_bcast lhs length");
         assert_eq!(b.len(), bt * n * k, "gemm_nt_bcast rhs length");
         assert_eq!(c.len(), bt * m * n, "gemm_nt_bcast out length");
@@ -604,10 +605,48 @@ enum Kind {
     Tn,
 }
 
+/// Counts one GEMM entry in the `focus-trace` registry, bucketed by
+/// transpose kind and the size class the dispatch thresholds put it in.
+/// Every counted site runs on the coordinating thread (worker closures call
+/// the block kernels directly), so the counts are thread-count-invariant.
+fn trace_gemm(prefix: &str, kind: Kind, macs: usize) {
+    if !focus_trace::enabled() {
+        return;
+    }
+    let class = if macs < TILE_MIN_MACS {
+        0
+    } else if macs < PAR_MIN_MACS {
+        1
+    } else {
+        2
+    };
+    // Static name table: the trace registry keys on `&'static str`.
+    const NAMES: [[[&str; 3]; 3]; 2] = [
+        [
+            ["gemm/nn_small", "gemm/nn_tiled", "gemm/nn_par"],
+            ["gemm/nt_small", "gemm/nt_tiled", "gemm/nt_par"],
+            ["gemm/tn_small", "gemm/tn_tiled", "gemm/tn_par"],
+        ],
+        [
+            ["bmm/nn_small", "bmm/nn_tiled", "bmm/nn_par"],
+            ["bmm/nt_small", "bmm/nt_tiled", "bmm/nt_par"],
+            ["bmm/tn_small", "bmm/tn_tiled", "bmm/tn_par"],
+        ],
+    ];
+    let p = usize::from(prefix == "bmm");
+    let ki = match kind {
+        Kind::Nn => 0,
+        Kind::Nt => 1,
+        Kind::Tn => 2,
+    };
+    focus_trace::counter_add(NAMES[p][ki][class], 1);
+}
+
 /// Dispatches one raw GEMM: reference for small shapes, tiled for medium,
 /// tiled + row-parallel for large. Bitwise-identical across all three paths.
 fn gemm_dispatch(kind: Kind, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let macs = m * k * n;
+    trace_gemm("gemm", kind, macs);
     // Narrow-output and sub-tile `a·bᵀ` products otherwise run entirely as
     // scalar dots; the packed saxpy kernel is bitwise-identical and part of
     // the fused path (the reference path keeps the pre-fusion behaviour).
@@ -660,6 +699,7 @@ fn bmm_dispatch(
     };
     let per_batch_macs = m * k * n;
     let total_macs = bt * per_batch_macs;
+    trace_gemm("bmm", kind, total_macs);
     let batch_grain = PAR_GRAIN_MACS.div_ceil(per_batch_macs.max(1)).max(1);
     // Same gate as gemm_dispatch; resolved once so the per-batch loops stay
     // branch-free. Scratch for the small-NT kernel is shared across batches —

@@ -32,17 +32,37 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// parallelism, else 1.
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
+/// Parses a `FOCUS_THREADS` value into a worker count. The variable must be
+/// a positive integer; anything else is an error carrying the offending
+/// value — a typo like `FOCUS_THREADS=all` must fail loudly, not silently
+/// fall back to the default and mask the misconfiguration.
+fn parse_focus_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "FOCUS_THREADS must be a positive integer worker count, got `{raw}` \
+             (unset the variable to use all available cores)"
+        )),
+    }
+}
+
+/// Resolves the default worker count from an optional `FOCUS_THREADS`
+/// value; an unparseable value panics with the offending text.
+fn resolve_default(env: Option<String>) -> usize {
+    match env {
+        Some(v) => parse_focus_threads(&v).expect("invalid FOCUS_THREADS"),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
 fn default_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
-        std::env::var("FOCUS_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
+        // `var_os` + lossy conversion so even a non-unicode value reaches the
+        // parser (and fails loudly) instead of being silently dropped.
+        let env = std::env::var_os("FOCUS_THREADS").map(|v| v.to_string_lossy().into_owned());
+        resolve_default(env)
     })
 }
 
@@ -353,6 +373,35 @@ mod tests {
         parallel_rows(&mut out, 3, 1, 4, |row0, _| {
             assert_eq!(row0 % 4, 0, "block start {row0} not aligned");
         });
+    }
+
+    #[test]
+    fn focus_threads_accepts_positive_integers() {
+        assert_eq!(parse_focus_threads("4"), Ok(4));
+        assert_eq!(parse_focus_threads(" 8 "), Ok(8), "surrounding whitespace is fine");
+        assert_eq!(parse_focus_threads("1"), Ok(1));
+    }
+
+    #[test]
+    fn focus_threads_rejects_garbage_with_the_offending_value() {
+        for bad in ["all", "0", "", "-2", "4.0", "2 threads"] {
+            let err = parse_focus_threads(bad).expect_err("must reject");
+            assert!(
+                err.contains(&format!("`{bad}`")),
+                "error must name the offending value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FOCUS_THREADS")]
+    fn invalid_focus_threads_fails_loudly_instead_of_falling_back() {
+        resolve_default(Some("all".to_string()));
+    }
+
+    #[test]
+    fn unset_focus_threads_uses_available_parallelism() {
+        assert!(resolve_default(None) >= 1);
     }
 
     #[test]

@@ -207,6 +207,23 @@ pub fn fresh_allocs() -> u64 {
     FRESH_ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Publishes the current pool counters into the `focus-trace` registry as
+/// `pool/*` gauges (no-op while tracing is disabled). Pool traffic depends
+/// on the worker-thread count (parallel kernels take per-worker scratch
+/// buffers), so consumers comparing traces across thread counts exclude the
+/// `pool/` prefix.
+pub fn publish_trace_stats() {
+    if !focus_trace::enabled() {
+        return;
+    }
+    let s = stats();
+    focus_trace::counter_set("pool/hits", s.hits);
+    focus_trace::counter_set("pool/misses", s.misses);
+    focus_trace::counter_set("pool/fresh_allocs", s.fresh_allocs);
+    focus_trace::counter_set("pool/returned", s.returned);
+    focus_trace::counter_set("pool/resident_bytes", s.resident_bytes);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,30 @@
 //! These are the primitives behind the paper's composite clustering distance
 //! (Eq. 6): `‖x − c‖² + α · (1 − corr(x, c))`.
 
+/// Scale-aware zero-variance test shared by every correlation-style
+/// normalisation in the workspace (Pearson here, the centred-normalised rows
+/// in `focus-cluster`'s batched sweep, and the correlation gradient).
+///
+/// A constant `f32` slice rarely produces an *exactly* zero centred sum of
+/// squares in `f64`: the mean of `n` copies of `v` rounds, leaving per-element
+/// residuals of order `ε₆₄ · |v|`, so `sxx ≈ n · (ε₆₄ · |v|)²` — tiny but
+/// positive, and for large `|v|` far above the absolute `f64::EPSILON`
+/// threshold. Dividing by such a noise-only norm manufactures a garbage
+/// "unit" vector (the NaN/garbage-corr bug). The fix: treat `sxx` as zero
+/// when it is at or below the accumulated-rounding noise floor for a slice
+/// of `n` elements with magnitude `max_abs`.
+///
+/// The floor is deliberately generous (×256) so near-constant rows whose
+/// variation is itself rounding noise also read as flat; genuinely varying
+/// data sits orders of magnitude above it — an `f32` step at magnitude
+/// `|v|` is `ε₃₂ · |v| ≈ 10⁹ · ε₆₄ · |v|`, so one real step per slice
+/// already clears the floor by ~10¹⁶×.
+pub fn zero_variance(sxx: f64, n: usize, max_abs: f64) -> bool {
+    let ulp = f64::EPSILON * max_abs.max(1.0);
+    let noise_floor = (n as f64) * ulp * ulp * 256.0;
+    sxx <= f64::EPSILON.max(noise_floor)
+}
+
 /// Pearson correlation coefficient between two equal-length slices.
 ///
 /// If either input has zero variance the correlation is undefined; this
@@ -22,14 +46,18 @@ pub fn pearson(x: &[f32], y: &[f32]) -> f32 {
     let mut sxy = 0.0f64;
     let mut sxx = 0.0f64;
     let mut syy = 0.0f64;
+    let mut ax = 0.0f64;
+    let mut ay = 0.0f64;
     for (&a, &b) in x.iter().zip(y) {
         let dx = a as f64 - mx;
         let dy = b as f64 - my;
         sxy += dx * dy;
         sxx += dx * dx;
         syy += dy * dy;
+        ax = ax.max((a as f64).abs());
+        ay = ay.max((b as f64).abs());
     }
-    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+    if zero_variance(sxx, x.len(), ax) || zero_variance(syy, y.len(), ay) {
         return 0.0;
     }
     let r = sxy / (sxx.sqrt() * syy.sqrt());
@@ -130,6 +158,38 @@ mod tests {
         assert_eq!(pearson(&flat, &y), 0.0);
         assert_eq!(pearson(&y, &flat), 0.0);
         assert_eq!(pearson(&flat, &flat), 0.0);
+    }
+
+    #[test]
+    fn pearson_large_magnitude_constant_is_zero() {
+        // At |v| ≈ 1e8 the f64 mean rounds, leaving sxx tiny-but-positive —
+        // far above the old absolute f64::EPSILON threshold. The scale-aware
+        // floor must still read the row as flat.
+        let flat = [1.0e8f32, 1.0e8, 1.0e8, 1.0e8, 1.0e8, 1.0e8, 1.0e8];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(pearson(&flat, &y), 0.0);
+        assert_eq!(pearson(&y, &flat), 0.0);
+    }
+
+    #[test]
+    fn zero_variance_floor_scales_with_magnitude() {
+        // Absolute-epsilon regime: small sxx at small magnitude is zero.
+        assert!(zero_variance(1e-17, 8, 1.0));
+        assert!(!zero_variance(1e-3, 8, 1.0));
+        // Rounding noise for 8 elements at |v|=1e8 is ~8·(ε₆₄·1e8)² ≈ 4e-15;
+        // the generous floor absorbs it, but one real f32 step at that
+        // magnitude ((ε₃₂·1e8)² ≈ 64) clears the floor comfortably.
+        assert!(zero_variance(4e-15, 8, 1e8));
+        assert!(!zero_variance(64.0, 8, 1e8));
+    }
+
+    #[test]
+    fn pearson_still_sees_one_f32_step_at_large_magnitude() {
+        // One representable step above 1e8 is still a real signal.
+        let step = f32::from_bits(1.0e8f32.to_bits() + 1);
+        let x = [1.0e8f32, step, 1.0e8, step];
+        let y = [0.0f32, 1.0, 0.0, 1.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-5);
     }
 
     #[test]

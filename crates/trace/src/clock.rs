@@ -1,0 +1,34 @@
+//! The workspace's **only** clock. Every other crate is forbidden from
+//! reading wall time by the focus-lint determinism rule; this module holds
+//! the single scoped exemption so all timing flows through one auditable
+//! funnel. Traced timings are observability output only — they must never
+//! feed back into model computation, assignments, or any value a test
+//! asserts bitwise.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the first call in this process.
+///
+/// Monotone (backed by [`Instant`]); the epoch is pinned lazily so the
+/// first reading is 0 and all spans share one origin.
+pub fn now_ns() -> u64 {
+    // This file is the lint's one sanctioned clock site (`is_clock_module`
+    // in focus-lint's file classifier); spans and benches read time here
+    // and nowhere else.
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -5,11 +5,18 @@
 //! 3. Train the online network for a few epochs.
 //! 4. Forecast and report accuracy.
 //!
+//! Tracing is switched on up front, so the run ends with a per-phase
+//! wall-clock table (offline fit, forward, backward, optimizer, ...).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use focus::{Benchmark, Focus, FocusConfig, Forecaster, MtsDataset, Split, TrainOptions};
+use focus::{trace, Benchmark, Focus, FocusConfig, Forecaster, MtsDataset, Split, TrainOptions};
 
 fn main() {
+    // Collect spans/counters for the whole run; disabled by default
+    // everywhere else because the probes then cost a single atomic load.
+    trace::set_enabled(true);
+
     // A laptop-scale stand-in for PEMS08: 16 sensors, ~14 days of 5-minute
     // readings (see DESIGN.md §4 for why synthetic data preserves the
     // relevant structure).
@@ -65,4 +72,9 @@ fn main() {
     // The efficiency story: analytic cost of one forward pass.
     let cost = model.cost(ds.spec().entities);
     println!("\nforward-pass cost: {cost}");
+
+    // Where the whole run (offline fit + training + evaluation + the
+    // forecast above) spent its time, from the trace registry.
+    println!("\nrun phases:");
+    print!("{}", trace::report::phase_table(&trace::snapshot_spans()));
 }

@@ -27,11 +27,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> focus-lint crates/ src/"
 cargo run -q -p focus-lint --release -- crates/ src/
 
+# The lint's own fixture suite: every rule (including the workspace-wide
+# clock ban and its single crates/trace/src/clock.rs exemption) must keep
+# firing on its positive fixture and staying silent on its negative one.
+echo "==> cargo test -p focus-lint -q"
+cargo test -p focus-lint -q
+
 # Steady-state train-step benchmark: measures the fused/pooled path against
 # the reference path at 1/2/4 threads and rewrites BENCH_trainstep.json.
 # Asserts internally that steady-state training performs zero fresh pool
 # allocations, so a pool regression fails verification here too.
 echo "==> cargo bench -p focus-bench --bench trainstep"
 cargo bench -p focus-bench --bench trainstep
+
+# Trace self-check: the bench must have produced a schema-versioned run
+# report with a captured span tree (the bench itself asserts span coverage,
+# disabled-mode overhead < 2%, and thread-invariant traces; this guards the
+# report wiring end to end).
+echo "==> trace report self-check (BENCH_trainstep.json)"
+grep -q '"schema": "focus-trace-report v1"' BENCH_trainstep.json
+grep -q '"spans"' BENCH_trainstep.json
 
 echo "verify: OK"

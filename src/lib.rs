@@ -12,7 +12,8 @@
 //! * [`data`] — synthetic Table II benchmarks, windowing, metrics;
 //! * [`cluster`] — the offline segment-clustering phase;
 //! * [`core`] — ProtoAttn, the dual-branch FOCUS model, ablations;
-//! * [`baselines`] — the seven comparison forecasters.
+//! * [`baselines`] — the seven comparison forecasters;
+//! * [`trace`] — opt-in spans, counters, and schema-versioned run reports.
 //!
 //! The most common entry points are lifted to the crate root:
 //!
@@ -39,6 +40,7 @@ pub use focus_core as core;
 pub use focus_data as data;
 pub use focus_nn as nn;
 pub use focus_tensor as tensor;
+pub use focus_trace as trace;
 
 pub use focus_baselines::{BaselineConfig, ModelKind};
 pub use focus_cluster::{ClusterConfig, Objective, Prototypes};
