@@ -105,7 +105,7 @@ impl Graph {
             }
             Op::Neg(a) => self.accum_scaled(*a, -1.0, g),
             Op::Scale(a, c) => self.accum_scaled(*a, *c, g),
-            Op::AddScalar(a) => self.accum_scaled(*a, 1.0, g),
+            Op::AddScalar(a, _) => self.accum_scaled(*a, 1.0, g),
             Op::Matmul(a, b) => {
                 // y = a·b  ⇒  da = g·bᵀ, db = aᵀ·g. On the fused path a
                 // product whose input doesn't require grad (the data side of
@@ -304,7 +304,7 @@ impl Graph {
                 };
                 self.accum(*a, dx);
             }
-            Op::LayerNormLast { x, gamma, beta, cache } => {
+            Op::LayerNormLast { x, gamma, beta, cache, .. } => {
                 let (x, gamma, beta) = (*x, *gamma, *beta);
                 let (dx, dgamma, dbeta) = {
                     let xval = &self.nodes[x.0].value;

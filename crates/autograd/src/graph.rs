@@ -18,7 +18,7 @@ pub(crate) enum Op {
     Mul(Var, Var),
     Neg(Var),
     Scale(Var, f32),
-    AddScalar(Var),
+    AddScalar(Var, f32),
     /// 2-D `a · b`.
     Matmul(Var, Var),
     /// Batched 3-D `a · b`.
@@ -55,6 +55,7 @@ pub(crate) enum Op {
         x: Var,
         gamma: Var,
         beta: Var,
+        eps: f32,
         cache: Tensor,
     },
     Relu(Var),
@@ -193,7 +194,7 @@ impl Graph {
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let v = self.value(a).add_scalar(c);
         let rg = self.rg(a);
-        self.push(v, Op::AddScalar(a), rg)
+        self.push(v, Op::AddScalar(a, c), rg)
     }
 
     // ---- linear algebra ----
@@ -364,6 +365,7 @@ impl Graph {
                 x,
                 gamma,
                 beta,
+                eps,
                 cache,
             },
             rg,

@@ -39,8 +39,10 @@
 mod backward;
 mod graph;
 mod optim;
+mod vm;
 
 pub mod gradcheck;
+pub mod plan;
 
 pub use graph::{Graph, Var};
 pub use optim::{Adam, AdamW, Optimizer, ParamId, ParamStore, ParamVars, Sgd};

@@ -125,6 +125,16 @@ impl ParamStore {
         }
     }
 
+    /// Parameter tensor by raw index, for the plan VM's update loop.
+    pub(crate) fn tensor_at(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Mutable parameter tensor by raw index, for the plan VM's update loop.
+    pub(crate) fn tensor_mut_at(&mut self, i: usize) -> &mut Tensor {
+        &mut self.tensors[i]
+    }
+
     /// Global L2 norm of all gradients in `g` for this store's leaves.
     pub fn grad_norm(&self, g: &Graph, vars: &ParamVars) -> f32 {
         let mut ss = 0.0f64;
@@ -146,6 +156,11 @@ impl ParamVars {
     /// The leaf for parameter `id`.
     pub fn var(&self, id: ParamId) -> Var {
         self.vars[id.0]
+    }
+
+    /// All leaves in id order, for the plan compiler's leaf classification.
+    pub(crate) fn raw(&self) -> &[Var] {
+        &self.vars
     }
 }
 

@@ -1,0 +1,2108 @@
+//! Tape → plan compiler: lowers one recorded forward/backward step into a
+//! flat instruction stream with pre-resolved buffer slots.
+//!
+//! The interpreter ([`Graph::backward`] + [`crate::ParamStore::step`]) walks
+//! the tape every step: each op allocates its output through the tensor pool,
+//! the backward pass re-derives the rule set node by node, and every
+//! intermediate round-trips through pool lookups. For the steady-state
+//! training loop — same window shapes, same routing layout, same parameter
+//! set step after step — all of that bookkeeping is invariant. This module
+//! compiles it away:
+//!
+//! 1. **Forward emission** walks the recorded nodes once and emits one
+//!    [`Instr`] per kernel call ([`Op::Reshape`] emits nothing — it is a
+//!    location alias).
+//! 2. **Symbolic backward** mirrors the fused backward rules exactly —
+//!    same kernels, same operand order, same accumulation order, including
+//!    the scalar-gradient constant folding the interpreter performs through
+//!    `f32` arithmetic — so a replay is bitwise-equal to an interpreted step.
+//! 3. **Liveness + slot allocation** assigns every virtual register to a
+//!    pool-class-sized slot (`numel.next_power_of_two()`) with a per-class
+//!    free list, destinations allocated before dying operands are released.
+//!    Steady-state replay then performs zero pool lookups and zero graph
+//!    traversal: the VM (`crate::vm`) just dispatches the opcode match.
+//!
+//! Compilation requires the fused kernels (`crate::set_fused(true)`): the
+//! emitted backward mirrors the fused rule set, so replaying a plan compiled
+//! against the reference backward would not be bitwise-equal. [`PlanCache`]
+//! gates on this.
+//!
+//! # Verification
+//!
+//! A tape records *values*, so a constant that happens to vary per window
+//! (e.g. a soft routing matrix) would silently bake one window's data into
+//! the plan. [`PlanCache`] therefore compiles twice — once each on the first
+//! two interpreted steps — and promotes to replay only if both candidate
+//! plans are bitwise-identical. Any mismatch with unchanged shapes turns the
+//! cache [`off`](PlanCache::is_off) for the rest of the run; a shape change
+//! restarts verification.
+//!
+//! # Serialization
+//!
+//! Plans round-trip through a versioned line-oriented text format
+//! (`focus-plan v1`, see [`Plan::to_text`]) in the same idiom as
+//! `cluster::persist`; floats are stored as `f32` bit patterns in hex so the
+//! round trip is exact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use focus_tensor::Tensor;
+
+use crate::graph::{Graph, Op, Var};
+use crate::optim::{Optimizer, ParamStore, ParamVars};
+use crate::vm;
+
+// ---------------------------------------------------------------------------
+// Global toggle
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables plan compilation and replay process-wide.
+///
+/// With plans disabled, [`PlanCache`] never compiles and never replays, so
+/// the training loop stays on the interpreter. Used by the benchmarks to
+/// measure the interpreter and the plan VM under otherwise identical
+/// settings.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True if plan compilation and replay are enabled (the default).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Plan IR
+// ---------------------------------------------------------------------------
+
+/// Operand location, pre-resolved at compile time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A scratch slot owned by the plan (`slots[i]`).
+    Slot(u32),
+    /// A parameter tensor in the [`ParamStore`], read at its current value.
+    Param(u32),
+    /// A caller-provided input slice (`x_norm`, `y_norm`, …).
+    Input(u8),
+    /// A constant snapshot baked into the plan (e.g. prototypes).
+    Static(u32),
+}
+
+impl Loc {
+    fn token(self) -> String {
+        match self {
+            Loc::Slot(i) => format!("s{i}"),
+            Loc::Param(i) => format!("p{i}"),
+            Loc::Input(i) => format!("i{i}"),
+            Loc::Static(i) => format!("c{i}"),
+        }
+    }
+
+    fn from_token(t: &str) -> Option<Loc> {
+        let (kind, rest) = t.split_at(1);
+        let idx: u32 = rest.parse().ok()?;
+        match kind {
+            "s" => Some(Loc::Slot(idx)),
+            "p" => Some(Loc::Param(idx)),
+            "i" => Some(Loc::Input(u8::try_from(idx).ok()?)),
+            "c" => Some(Loc::Static(idx)),
+            _ => None,
+        }
+    }
+}
+
+/// The flat opcode set: one variant per tensor kernel the training step uses.
+///
+/// `dims` semantics per opcode are documented on the VM dispatch
+/// (`crate::vm`); they always describe the *kernel call*, e.g. GEMM opcodes
+/// carry `[m, k, n]` in dispatch order, not the tape node's shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpCode {
+    ZipAdd,
+    ZipSub,
+    ZipMul,
+    ZipReluBwd,
+    ZipGeluBwd,
+    ZipAbsBwd,
+    ZipSigmoidBwd,
+    ZipTanhBwd,
+    MapScale,
+    MapAddScalar,
+    MapRelu,
+    MapGelu,
+    MapSigmoid,
+    MapTanh,
+    MapAbs,
+    GemmNn,
+    GemmNt,
+    GemmTn,
+    BmmNn,
+    BmmNt,
+    BmmTn,
+    BcastNt,
+    BcastNtDa,
+    BcastNtDx,
+    RouteGather,
+    RouteScatter,
+    AddRowBcast,
+    BiasGrad,
+    Softmax,
+    SoftmaxBwd,
+    LayerNormFwd,
+    LayerNormBwd,
+    Transpose2,
+    TransposeLast2,
+    Swap01,
+    ConcatLast,
+    SliceCols,
+    ScatterCols,
+    MeanAll,
+    SumAll,
+    Fill,
+    Copy,
+    Axpy,
+}
+
+impl OpCode {
+    const ALL: [OpCode; 43] = [
+        OpCode::ZipAdd,
+        OpCode::ZipSub,
+        OpCode::ZipMul,
+        OpCode::ZipReluBwd,
+        OpCode::ZipGeluBwd,
+        OpCode::ZipAbsBwd,
+        OpCode::ZipSigmoidBwd,
+        OpCode::ZipTanhBwd,
+        OpCode::MapScale,
+        OpCode::MapAddScalar,
+        OpCode::MapRelu,
+        OpCode::MapGelu,
+        OpCode::MapSigmoid,
+        OpCode::MapTanh,
+        OpCode::MapAbs,
+        OpCode::GemmNn,
+        OpCode::GemmNt,
+        OpCode::GemmTn,
+        OpCode::BmmNn,
+        OpCode::BmmNt,
+        OpCode::BmmTn,
+        OpCode::BcastNt,
+        OpCode::BcastNtDa,
+        OpCode::BcastNtDx,
+        OpCode::RouteGather,
+        OpCode::RouteScatter,
+        OpCode::AddRowBcast,
+        OpCode::BiasGrad,
+        OpCode::Softmax,
+        OpCode::SoftmaxBwd,
+        OpCode::LayerNormFwd,
+        OpCode::LayerNormBwd,
+        OpCode::Transpose2,
+        OpCode::TransposeLast2,
+        OpCode::Swap01,
+        OpCode::ConcatLast,
+        OpCode::SliceCols,
+        OpCode::ScatterCols,
+        OpCode::MeanAll,
+        OpCode::SumAll,
+        OpCode::Fill,
+        OpCode::Copy,
+        OpCode::Axpy,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            OpCode::ZipAdd => "zip_add",
+            OpCode::ZipSub => "zip_sub",
+            OpCode::ZipMul => "zip_mul",
+            OpCode::ZipReluBwd => "zip_relu_bwd",
+            OpCode::ZipGeluBwd => "zip_gelu_bwd",
+            OpCode::ZipAbsBwd => "zip_abs_bwd",
+            OpCode::ZipSigmoidBwd => "zip_sigmoid_bwd",
+            OpCode::ZipTanhBwd => "zip_tanh_bwd",
+            OpCode::MapScale => "map_scale",
+            OpCode::MapAddScalar => "map_add_scalar",
+            OpCode::MapRelu => "map_relu",
+            OpCode::MapGelu => "map_gelu",
+            OpCode::MapSigmoid => "map_sigmoid",
+            OpCode::MapTanh => "map_tanh",
+            OpCode::MapAbs => "map_abs",
+            OpCode::GemmNn => "gemm_nn",
+            OpCode::GemmNt => "gemm_nt",
+            OpCode::GemmTn => "gemm_tn",
+            OpCode::BmmNn => "bmm_nn",
+            OpCode::BmmNt => "bmm_nt",
+            OpCode::BmmTn => "bmm_tn",
+            OpCode::BcastNt => "bcast_nt",
+            OpCode::BcastNtDa => "bcast_nt_da",
+            OpCode::BcastNtDx => "bcast_nt_dx",
+            OpCode::RouteGather => "route_gather",
+            OpCode::RouteScatter => "route_scatter",
+            OpCode::AddRowBcast => "add_row_bcast",
+            OpCode::BiasGrad => "bias_grad",
+            OpCode::Softmax => "softmax",
+            OpCode::SoftmaxBwd => "softmax_bwd",
+            OpCode::LayerNormFwd => "layer_norm_fwd",
+            OpCode::LayerNormBwd => "layer_norm_bwd",
+            OpCode::Transpose2 => "transpose2",
+            OpCode::TransposeLast2 => "transpose_last2",
+            OpCode::Swap01 => "swap01",
+            OpCode::ConcatLast => "concat_last",
+            OpCode::SliceCols => "slice_cols",
+            OpCode::ScatterCols => "scatter_cols",
+            OpCode::MeanAll => "mean_all",
+            OpCode::SumAll => "sum_all",
+            OpCode::Fill => "fill",
+            OpCode::Copy => "copy",
+            OpCode::Axpy => "axpy",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<OpCode> {
+        OpCode::ALL.iter().copied().find(|o| o.name() == s)
+    }
+}
+
+/// One kernel call with pre-resolved operand locations.
+#[derive(Clone, Debug)]
+pub struct Instr {
+    pub op: OpCode,
+    /// Destination slot ids. Most opcodes have one; `LayerNormFwd` has
+    /// `[y, cache]`, `LayerNormBwd` has `[dx, dgamma, dbeta]`, `BcastNtDa`
+    /// has `[da, scratch]`. `Axpy` reads *and* writes its destination.
+    pub dsts: Vec<u32>,
+    pub args: Vec<Loc>,
+    /// Kernel-call geometry (see `crate::vm` dispatch for the per-opcode
+    /// meaning).
+    pub dims: Vec<u32>,
+    /// Immediate scalar (scale factor, fill value, axpy alpha, LN epsilon).
+    pub imm: f32,
+}
+
+impl PartialEq for Instr {
+    fn eq(&self, other: &Self) -> bool {
+        // Bitwise on the immediate: plan verification must distinguish any
+        // baked-in constant change, including NaN payloads and signed zero.
+        self.op == other.op
+            && self.dsts == other.dsts
+            && self.args == other.args
+            && self.dims == other.dims
+            && self.imm.to_bits() == other.imm.to_bits()
+    }
+}
+
+/// One parameter update: which slot holds the accumulated gradient for which
+/// parameter, and the dims the optimizer sees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateSpec {
+    pub param: u32,
+    pub grad_slot: u32,
+    pub dims: Vec<usize>,
+}
+
+/// A compiled execution plan: flat instruction stream plus everything the VM
+/// needs to replay it — slot capacities, baked constants, expected input /
+/// route / parameter geometry, and the update list (train plans) or output
+/// location (forward plans).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) slot_caps: Vec<usize>,
+    pub(crate) statics: Vec<(Vec<usize>, Vec<f32>)>,
+    pub(crate) inputs: Vec<Vec<usize>>,
+    pub(crate) route_lens: Vec<usize>,
+    pub(crate) params: Vec<Vec<usize>>,
+    pub(crate) updates: Vec<UpdateSpec>,
+    pub(crate) loss_slot: Option<u32>,
+    pub(crate) output: Option<(u32, Vec<usize>)>,
+}
+
+impl PartialEq for Plan {
+    fn eq(&self, other: &Self) -> bool {
+        fn statics_eq(a: &[(Vec<usize>, Vec<f32>)], b: &[(Vec<usize>, Vec<f32>)]) -> bool {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|((da, va), (db, vb))| {
+                    da == db
+                        && va.len() == vb.len()
+                        && va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits())
+                })
+        }
+        self.instrs == other.instrs
+            && self.slot_caps == other.slot_caps
+            && statics_eq(&self.statics, &other.statics)
+            && self.inputs == other.inputs
+            && self.route_lens == other.route_lens
+            && self.params == other.params
+            && self.updates == other.updates
+            && self.loss_slot == other.loss_slot
+            && self.output == other.output
+    }
+}
+
+impl Plan {
+    /// Number of instructions in the flat stream.
+    pub fn n_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Number of scratch slots the plan allocates.
+    pub fn n_slots(&self) -> usize {
+        self.slot_caps.len()
+    }
+
+    /// True for training plans (backward + updates), false for forward-only.
+    pub fn is_train(&self) -> bool {
+        self.loss_slot.is_some()
+    }
+
+    /// True if the caller-side geometry still matches what the plan was
+    /// compiled against: input dims, route index counts and parameter dims.
+    pub fn matches(&self, inputs: &[&Tensor], routes: &[&[u32]], store: &ParamStore) -> bool {
+        inputs.len() == self.inputs.len()
+            && inputs.iter().zip(&self.inputs).all(|(t, d)| t.dims() == &d[..])
+            && routes.len() == self.route_lens.len()
+            && routes.iter().zip(&self.route_lens).all(|(r, &l)| r.len() == l)
+            && store.len() == self.params.len()
+            && (0..store.len()).all(|i| store.tensor_at(i).dims() == &self.params[i][..])
+    }
+
+    /// Shape-only signature used to distinguish "shapes changed during
+    /// warmup" (restart verification) from "same shapes, different constants"
+    /// (a per-window-varying constant — give up).
+    fn shape_signature(&self) -> (&[Vec<usize>], &[usize], &[Vec<usize>]) {
+        (&self.inputs, &self.route_lens, &self.params)
+    }
+
+    /// Allocates the slot buffers for replay. Plain `Vec`s on purpose: slots
+    /// are owned by the plan for its whole lifetime and never touch the
+    /// tensor pool.
+    pub(crate) fn alloc_slots(&self) -> Vec<Vec<f32>> {
+        // focus-lint: allow(pool-bypass) -- slots live as long as the plan and are deliberately off the pool
+        self.slot_caps.iter().map(|&c| vec![0.0f32; c]).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile errors
+// ---------------------------------------------------------------------------
+
+/// Why a tape could not be lowered to a plan. All of these are soft
+/// failures: [`PlanCache`] falls back to the interpreter for the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A trainable leaf on the tape is not registered in the [`ParamStore`].
+    UntrackedParamLeaf(usize),
+    /// A `RouteOneHot` op's index vector matches none of the caller-provided
+    /// route sources.
+    UnmatchedRoute,
+    /// A scalar-valued node received a non-constant gradient, so the
+    /// `MeanAll`/`SumAll` fill value cannot be folded at compile time.
+    NonConstScalarGrad,
+    /// The loss node is not scalar.
+    NonScalarLoss,
+    /// More caller inputs than the `Input(u8)` encoding supports.
+    TooManyInputs,
+    /// The loss/output node did not lower to a slot-resident value.
+    BadOutput,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UntrackedParamLeaf(i) => {
+                write!(f, "trainable leaf at node {i} is not in the parameter store")
+            }
+            CompileError::UnmatchedRoute => {
+                write!(f, "route indices match no caller-provided route source")
+            }
+            CompileError::NonConstScalarGrad => {
+                write!(f, "scalar node received a non-constant gradient")
+            }
+            CompileError::NonScalarLoss => write!(f, "loss node is not scalar"),
+            CompileError::TooManyInputs => write!(f, "more than 255 plan inputs"),
+            CompileError::BadOutput => {
+                write!(f, "loss/output node did not lower to a slot value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+// ---------------------------------------------------------------------------
+// Emitter: tape -> virtual-register instruction stream
+// ---------------------------------------------------------------------------
+
+/// Operand location before slot allocation: virtual register or external.
+#[derive(Clone, Copy, Debug)]
+enum VLoc {
+    V(u32),
+    Param(u32),
+    Input(u8),
+    Static(u32),
+}
+
+/// Gradient representation during the symbolic backward pass.
+///
+/// Scalar-valued nodes (the loss chain) keep their gradient as a compile-time
+/// `f32` constant folded with the interpreter's exact arithmetic; everything
+/// else lives in a virtual register.
+#[derive(Clone, Copy, Debug)]
+enum GradRepr {
+    Const(f32),
+    V(u32),
+}
+
+struct VInstr {
+    op: OpCode,
+    outs: Vec<u32>,
+    ins: Vec<VLoc>,
+    dims: Vec<u32>,
+    imm: f32,
+}
+
+struct Emitter<'a> {
+    g: &'a Graph,
+    inputs: &'a [&'a Tensor],
+    routes: &'a [&'a [u32]],
+    /// node id -> param index, from the registration order of `ParamVars`.
+    param_of: BTreeMap<usize, u32>,
+    statics: Vec<(Vec<usize>, Vec<f32>)>,
+    vnumel: Vec<usize>,
+    instrs: Vec<VInstr>,
+    node_loc: Vec<Option<VLoc>>,
+    grad: Vec<Option<GradRepr>>,
+    /// LayerNorm node id -> (mean, rstd) cache vreg from the forward pass.
+    ln_cache: BTreeMap<usize, u32>,
+}
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl<'a> Emitter<'a> {
+    fn new(
+        g: &'a Graph,
+        pv: &ParamVars,
+        inputs: &'a [&'a Tensor],
+        routes: &'a [&'a [u32]],
+    ) -> Emitter<'a> {
+        let mut param_of = BTreeMap::new();
+        for (pi, var) in pv.raw().iter().enumerate() {
+            param_of.insert(var.0, pi as u32);
+        }
+        Emitter {
+            g,
+            inputs,
+            routes,
+            param_of,
+            statics: Vec::new(),
+            vnumel: Vec::new(),
+            instrs: Vec::new(),
+            node_loc: vec![None; g.nodes.len()],
+            grad: vec![None; g.nodes.len()],
+            ln_cache: BTreeMap::new(),
+        }
+    }
+
+    fn fresh(&mut self, numel: usize) -> u32 {
+        self.vnumel.push(numel);
+        (self.vnumel.len() - 1) as u32
+    }
+
+    fn emit(&mut self, op: OpCode, outs: Vec<u32>, ins: Vec<VLoc>, dims: Vec<u32>, imm: f32) {
+        self.instrs.push(VInstr { op, outs, ins, dims, imm });
+    }
+
+    fn loc(&self, v: Var) -> VLoc {
+        self.node_loc[v.0].expect("plan emitter: operand node not yet lowered")
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.g.nodes[v.0].requires_grad
+    }
+
+    fn numel(&self, v: Var) -> usize {
+        self.g.nodes[v.0].value.numel()
+    }
+
+    fn dims_of(&self, v: Var) -> &'a [usize] {
+        // `self.g` outlives the emitter, so the borrow is 'a, not tied to
+        // &self — the backward arms hold these across &mut self calls.
+        self.g.nodes[v.0].value.dims()
+    }
+
+    /// Classifies a non-trainable leaf: caller input (by bitwise data match)
+    /// or baked static (deduplicated by bits).
+    fn classify_const(&mut self, value: &Tensor) -> VLoc {
+        for (j, inp) in self.inputs.iter().enumerate() {
+            if bits_eq(value.data(), inp.data()) {
+                return VLoc::Input(j as u8);
+            }
+        }
+        for (ci, (_, data)) in self.statics.iter().enumerate() {
+            if bits_eq(value.data(), data) {
+                return VLoc::Static(ci as u32);
+            }
+        }
+        self.statics.push((value.dims().to_vec(), value.data().to_vec()));
+        VLoc::Static((self.statics.len() - 1) as u32)
+    }
+
+    /// Materializes a node's gradient into a virtual register (emitting a
+    /// `Fill` if it is currently a folded constant).
+    fn grad_vreg(&mut self, i: usize) -> u32 {
+        match self.grad[i].expect("plan emitter: gradient requested but absent") {
+            GradRepr::V(r) => r,
+            GradRepr::Const(c) => {
+                let n = self.g.nodes[i].value.numel();
+                let r = self.fresh(n);
+                self.emit(OpCode::Fill, vec![r], vec![], vec![n as u32], c);
+                self.grad[i] = Some(GradRepr::V(r));
+                r
+            }
+        }
+    }
+
+    /// Mirror of the interpreter's fused `accum_scaled`: propagate `alpha ×
+    /// grad(gi)` into `v`'s gradient with the exact same `f32` operations —
+    /// clone/scale on first contribution, `axpy(alpha)` thereafter — folding
+    /// through compile-time constants when the gradient is scalar.
+    fn accum_scaled(&mut self, v: Var, alpha: f32, gi: usize) {
+        if !self.rg(v) {
+            return;
+        }
+        let gnumel = self.g.nodes[gi].value.numel();
+        let gl = gnumel as u32;
+        match self.grad[gi].expect("accum_scaled without a source gradient") {
+            GradRepr::Const(c) => match self.grad[v.0] {
+                None => {
+                    // focus-lint: allow(float-hygiene) -- mirrors the interpreter's exact alpha==1.0 fast path; parity is bitwise
+                    let folded = if alpha == 1.0 { c } else { c * alpha };
+                    self.grad[v.0] = Some(GradRepr::Const(folded));
+                }
+                Some(GradRepr::Const(e)) => {
+                    self.grad[v.0] = Some(GradRepr::Const(e + alpha * c));
+                }
+                Some(GradRepr::V(acc)) => {
+                    let gr = self.grad_vreg(gi);
+                    self.emit(OpCode::Axpy, vec![acc], vec![VLoc::V(gr)], vec![gl], alpha);
+                }
+            },
+            GradRepr::V(gr) => match self.grad[v.0] {
+                None => {
+                    let r = self.fresh(gnumel);
+                    // focus-lint: allow(float-hygiene) -- mirrors the interpreter's exact alpha==1.0 fast path; parity is bitwise
+                    if alpha == 1.0 {
+                        self.emit(OpCode::Copy, vec![r], vec![VLoc::V(gr)], vec![gl], 0.0);
+                    } else {
+                        self.emit(OpCode::MapScale, vec![r], vec![VLoc::V(gr)], vec![gl], alpha);
+                    }
+                    self.grad[v.0] = Some(GradRepr::V(r));
+                }
+                Some(GradRepr::V(acc)) => {
+                    self.emit(OpCode::Axpy, vec![acc], vec![VLoc::V(gr)], vec![gl], alpha);
+                }
+                Some(GradRepr::Const(e)) => {
+                    let acc = self.fresh(gnumel);
+                    self.emit(OpCode::Fill, vec![acc], vec![], vec![gl], e);
+                    self.grad[v.0] = Some(GradRepr::V(acc));
+                    self.emit(OpCode::Axpy, vec![acc], vec![VLoc::V(gr)], vec![gl], alpha);
+                }
+            },
+        }
+    }
+
+    /// Mirror of the interpreter's `accum` with a freshly computed
+    /// contribution: first contribution takes ownership (register alias, no
+    /// copy — exactly like the interpreter moving the tensor into the grad
+    /// slot), later ones `axpy(1.0)` on top.
+    fn accum_own(&mut self, v: Var, r: u32, numel: usize) {
+        let nl = numel as u32;
+        match self.grad[v.0] {
+            None => self.grad[v.0] = Some(GradRepr::V(r)),
+            Some(GradRepr::V(acc)) => {
+                self.emit(OpCode::Axpy, vec![acc], vec![VLoc::V(r)], vec![nl], 1.0);
+            }
+            Some(GradRepr::Const(e)) => {
+                let acc = self.fresh(numel);
+                self.emit(OpCode::Fill, vec![acc], vec![], vec![nl], e);
+                self.grad[v.0] = Some(GradRepr::V(acc));
+                self.emit(OpCode::Axpy, vec![acc], vec![VLoc::V(r)], vec![nl], 1.0);
+            }
+        }
+    }
+
+    /// Lowers the forward tape: one instruction per kernel, `Reshape` as a
+    /// pure location alias, leaves classified as params / inputs / statics.
+    fn forward_pass(&mut self) -> Result<(), CompileError> {
+        let g = self.g;
+        for i in 0..g.nodes.len() {
+            let node = &g.nodes[i];
+            let vd = node.value.dims();
+            let nl = node.value.numel();
+            let out = match &node.op {
+                Op::Leaf => {
+                    if node.requires_grad {
+                        match self.param_of.get(&i) {
+                            Some(&pi) => VLoc::Param(pi),
+                            None => return Err(CompileError::UntrackedParamLeaf(i)),
+                        }
+                    } else {
+                        self.classify_const(&node.value)
+                    }
+                }
+                Op::Add(a, b) => self.zip(OpCode::ZipAdd, *a, *b, nl),
+                Op::Sub(a, b) => self.zip(OpCode::ZipSub, *a, *b, nl),
+                Op::Mul(a, b) => self.zip(OpCode::ZipMul, *a, *b, nl),
+                Op::Neg(a) => self.map(OpCode::MapScale, *a, nl, -1.0),
+                Op::Scale(a, c) => self.map(OpCode::MapScale, *a, nl, *c),
+                Op::AddScalar(a, c) => self.map(OpCode::MapAddScalar, *a, nl, *c),
+                Op::Relu(a) => self.map(OpCode::MapRelu, *a, nl, 0.0),
+                Op::Gelu(a) => self.map(OpCode::MapGelu, *a, nl, 0.0),
+                Op::Sigmoid(a) => self.map(OpCode::MapSigmoid, *a, nl, 0.0),
+                Op::Tanh(a) => self.map(OpCode::MapTanh, *a, nl, 0.0),
+                Op::Abs(a) => self.map(OpCode::MapAbs, *a, nl, 0.0),
+                Op::Matmul(a, b) => {
+                    let (m, k) = (self.dims_of(*a)[0], self.dims_of(*a)[1]);
+                    let n = self.dims_of(*b)[1];
+                    let (la, lb) = (self.loc(*a), self.loc(*b));
+                    let r = self.fresh(m * n);
+                    self.emit(
+                        OpCode::GemmNn,
+                        vec![r],
+                        vec![la, lb],
+                        vec![m as u32, k as u32, n as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::Bmm(a, b) => {
+                    let ad = self.dims_of(*a);
+                    let n = self.dims_of(*b)[2];
+                    let (bt, m, k) = (ad[0], ad[1], ad[2]);
+                    let (la, lb) = (self.loc(*a), self.loc(*b));
+                    let r = self.fresh(bt * m * n);
+                    self.emit(
+                        OpCode::BmmNn,
+                        vec![r],
+                        vec![la, lb],
+                        vec![bt as u32, m as u32, k as u32, n as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::BmmNt(a, b) => {
+                    let ad = self.dims_of(*a);
+                    let n = self.dims_of(*b)[1];
+                    let (bt, m, k) = (ad[0], ad[1], ad[2]);
+                    let (la, lb) = (self.loc(*a), self.loc(*b));
+                    let r = self.fresh(bt * m * n);
+                    self.emit(
+                        OpCode::BmmNt,
+                        vec![r],
+                        vec![la, lb],
+                        vec![bt as u32, m as u32, k as u32, n as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::RouteOneHot { head, indices } => {
+                    let src = self
+                        .routes
+                        .iter()
+                        .position(|r| *r == &indices[..])
+                        .ok_or(CompileError::UnmatchedRoute)? as u32;
+                    let hd = self.dims_of(*head);
+                    let (b, k, d) = (hd[0], hd[1], hd[2]);
+                    let l = vd[1];
+                    let lh = self.loc(*head);
+                    let r = self.fresh(b * l * d);
+                    self.emit(
+                        OpCode::RouteGather,
+                        vec![r],
+                        vec![lh],
+                        vec![src, b as u32, k as u32, d as u32, l as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::MatmulBroadcastNt(a, x) => {
+                    let ad = self.dims_of(*a);
+                    let xd = self.dims_of(*x);
+                    let (k, d) = (ad[0], ad[1]);
+                    let (bsz, l) = (xd[0], xd[1]);
+                    let (la, lx) = (self.loc(*a), self.loc(*x));
+                    let r = self.fresh(bsz * k * l);
+                    self.emit(
+                        OpCode::BcastNt,
+                        vec![r],
+                        vec![la, lx],
+                        vec![bsz as u32, k as u32, d as u32, l as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::Transpose2(a) => {
+                    let ad = self.dims_of(*a);
+                    let la = self.loc(*a);
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::Transpose2,
+                        vec![r],
+                        vec![la],
+                        vec![ad[0] as u32, ad[1] as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::TransposeLast2(a) => {
+                    let ad = self.dims_of(*a);
+                    let la = self.loc(*a);
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::TransposeLast2,
+                        vec![r],
+                        vec![la],
+                        vec![ad[0] as u32, ad[1] as u32, ad[2] as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::SwapAxes01(a) => {
+                    let ad = self.dims_of(*a);
+                    let la = self.loc(*a);
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::Swap01,
+                        vec![r],
+                        vec![la],
+                        vec![ad[0] as u32, ad[1] as u32, ad[2] as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::Reshape(a) => self.loc(*a),
+                Op::AddRowBroadcast(x, bias) => {
+                    let n = self.numel(*bias);
+                    let rows = nl / n;
+                    let (lx, lb) = (self.loc(*x), self.loc(*bias));
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::AddRowBcast,
+                        vec![r],
+                        vec![lx, lb],
+                        vec![rows as u32, n as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::SoftmaxLast(a) => {
+                    let n = *self.dims_of(*a).last().expect("tensor dims are never empty");
+                    let rows = nl / n;
+                    let la = self.loc(*a);
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::Softmax,
+                        vec![r],
+                        vec![la],
+                        vec![rows as u32, n as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::LayerNormLast { x, gamma, beta, eps, .. } => {
+                    let n = *self.dims_of(*x).last().expect("tensor dims are never empty");
+                    let rows = nl / n;
+                    let (lx, lg, lb) = (self.loc(*x), self.loc(*gamma), self.loc(*beta));
+                    let y = self.fresh(nl);
+                    let cache = self.fresh(rows * 2);
+                    let eps = *eps;
+                    self.emit(
+                        OpCode::LayerNormFwd,
+                        vec![y, cache],
+                        vec![lx, lg, lb],
+                        vec![rows as u32, n as u32],
+                        eps,
+                    );
+                    self.ln_cache.insert(i, cache);
+                    VLoc::V(y)
+                }
+                Op::ConcatLast(a, b, split) => {
+                    let na = *split;
+                    let nb = *self.dims_of(*b).last().expect("tensor dims are never empty");
+                    let rows = self.numel(*a) / na;
+                    let (la, lb) = (self.loc(*a), self.loc(*b));
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::ConcatLast,
+                        vec![r],
+                        vec![la, lb],
+                        vec![rows as u32, na as u32, nb as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::SliceLast(a, start, end) => {
+                    let n = *self.dims_of(*a).last().expect("tensor dims are never empty");
+                    let rows = self.numel(*a) / n;
+                    let (start, end) = (*start, *end);
+                    let la = self.loc(*a);
+                    let r = self.fresh(nl);
+                    self.emit(
+                        OpCode::SliceCols,
+                        vec![r],
+                        vec![la],
+                        vec![rows as u32, n as u32, start as u32, end as u32],
+                        0.0,
+                    );
+                    VLoc::V(r)
+                }
+                Op::MeanAll(a) => {
+                    let n = self.numel(*a);
+                    let la = self.loc(*a);
+                    let r = self.fresh(1);
+                    self.emit(OpCode::MeanAll, vec![r], vec![la], vec![n as u32], 0.0);
+                    VLoc::V(r)
+                }
+                Op::SumAll(a) => {
+                    let n = self.numel(*a);
+                    let la = self.loc(*a);
+                    let r = self.fresh(1);
+                    self.emit(OpCode::SumAll, vec![r], vec![la], vec![n as u32], 0.0);
+                    VLoc::V(r)
+                }
+            };
+            self.node_loc[i] = Some(out);
+        }
+        Ok(())
+    }
+
+    fn zip(&mut self, op: OpCode, a: Var, b: Var, nl: usize) -> VLoc {
+        let (la, lb) = (self.loc(a), self.loc(b));
+        let r = self.fresh(nl);
+        self.emit(op, vec![r], vec![la, lb], vec![nl as u32], 0.0);
+        VLoc::V(r)
+    }
+
+    fn map(&mut self, op: OpCode, a: Var, nl: usize, imm: f32) -> VLoc {
+        let la = self.loc(a);
+        let r = self.fresh(nl);
+        self.emit(op, vec![r], vec![la], vec![nl as u32], imm);
+        VLoc::V(r)
+    }
+
+    /// Emits a fresh-register gradient contribution: `op(ins) -> r`, then
+    /// folds `r` into `v`'s gradient.
+    fn contrib(&mut self, v: Var, op: OpCode, ins: Vec<VLoc>, dims: Vec<u32>, numel: usize) {
+        let r = self.fresh(numel);
+        self.emit(op, vec![r], ins, dims, 0.0);
+        self.accum_own(v, r, numel);
+    }
+
+    /// Symbolic mirror of the fused interpreter backward: identical kernels,
+    /// operand order and accumulation order, so replay is bitwise-equal.
+    fn backward_pass(&mut self, loss: Var) -> Result<(), CompileError> {
+        let g = self.g;
+        if g.nodes[loss.0].value.numel() != 1 {
+            return Err(CompileError::NonScalarLoss);
+        }
+        self.grad[loss.0] = Some(GradRepr::Const(1.0));
+        for i in (0..g.nodes.len()).rev() {
+            if !g.nodes[i].requires_grad || self.grad[i].is_none() {
+                continue;
+            }
+            let nl = g.nodes[i].value.numel();
+            let vd = g.nodes[i].value.dims();
+            match &g.nodes[i].op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accum_scaled(a, 1.0, i);
+                    self.accum_scaled(b, 1.0, i);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accum_scaled(a, 1.0, i);
+                    self.accum_scaled(b, -1.0, i);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let gr = self.grad_vreg(i);
+                    let da = if self.rg(a) {
+                        let lb = self.loc(b);
+                        let r = self.fresh(nl);
+                        self.emit(
+                            OpCode::ZipMul,
+                            vec![r],
+                            vec![VLoc::V(gr), lb],
+                            vec![nl as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let db = if self.rg(b) {
+                        let la = self.loc(a);
+                        let r = self.fresh(nl);
+                        self.emit(
+                            OpCode::ZipMul,
+                            vec![r],
+                            vec![VLoc::V(gr), la],
+                            vec![nl as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = da {
+                        self.accum_own(a, r, nl);
+                    }
+                    if let Some(r) = db {
+                        self.accum_own(b, r, nl);
+                    }
+                }
+                Op::Neg(a) => self.accum_scaled(*a, -1.0, i),
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    self.accum_scaled(a, c, i);
+                }
+                Op::AddScalar(a, _) => self.accum_scaled(*a, 1.0, i),
+                Op::Relu(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let (la, gr) = (self.loc(a), self.grad_vreg(i));
+                        self.contrib(a, OpCode::ZipReluBwd, vec![la, VLoc::V(gr)], vec![nl as u32], nl);
+                    }
+                }
+                Op::Gelu(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let (la, gr) = (self.loc(a), self.grad_vreg(i));
+                        self.contrib(a, OpCode::ZipGeluBwd, vec![la, VLoc::V(gr)], vec![nl as u32], nl);
+                    }
+                }
+                Op::Abs(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let (la, gr) = (self.loc(a), self.grad_vreg(i));
+                        self.contrib(a, OpCode::ZipAbsBwd, vec![la, VLoc::V(gr)], vec![nl as u32], nl);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        // The rule reads the op's *output*, not its input.
+                        let ly = self.node_loc[i].expect("forward pass locates every live node");
+                        let gr = self.grad_vreg(i);
+                        self.contrib(a, OpCode::ZipSigmoidBwd, vec![ly, VLoc::V(gr)], vec![nl as u32], nl);
+                    }
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let ly = self.node_loc[i].expect("forward pass locates every live node");
+                        let gr = self.grad_vreg(i);
+                        self.contrib(a, OpCode::ZipTanhBwd, vec![ly, VLoc::V(gr)], vec![nl as u32], nl);
+                    }
+                }
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let (m, k) = (self.dims_of(a)[0], self.dims_of(a)[1]);
+                    let n = self.dims_of(b)[1];
+                    let gr = self.grad_vreg(i);
+                    let da = if self.rg(a) {
+                        let lb = self.loc(b);
+                        let r = self.fresh(m * k);
+                        // da = g · bᵀ : dispatch (Nt, m, n, k).
+                        self.emit(
+                            OpCode::GemmNt,
+                            vec![r],
+                            vec![VLoc::V(gr), lb],
+                            vec![m as u32, n as u32, k as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let db = if self.rg(b) {
+                        let la = self.loc(a);
+                        let r = self.fresh(k * n);
+                        // db = aᵀ · g : dispatch (Tn, k, m, n).
+                        self.emit(
+                            OpCode::GemmTn,
+                            vec![r],
+                            vec![la, VLoc::V(gr)],
+                            vec![k as u32, m as u32, n as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = da {
+                        self.accum_own(a, r, m * k);
+                    }
+                    if let Some(r) = db {
+                        self.accum_own(b, r, k * n);
+                    }
+                }
+                Op::Bmm(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ad = self.dims_of(a);
+                    let (bt, m, k) = (ad[0], ad[1], ad[2]);
+                    let n = self.dims_of(b)[2];
+                    let gr = self.grad_vreg(i);
+                    let da = if self.rg(a) {
+                        let lb = self.loc(b);
+                        let r = self.fresh(bt * m * k);
+                        // da = g ·ᵇ bᵀ : dispatch (Nt, bt, m, n, k).
+                        self.emit(
+                            OpCode::BmmNt,
+                            vec![r],
+                            vec![VLoc::V(gr), lb],
+                            vec![bt as u32, m as u32, n as u32, k as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let db = if self.rg(b) {
+                        let la = self.loc(a);
+                        let r = self.fresh(bt * k * n);
+                        // db = aᵀ ·ᵇ g : dispatch (Tn, bt, k, m, n).
+                        self.emit(
+                            OpCode::BmmTn,
+                            vec![r],
+                            vec![la, VLoc::V(gr)],
+                            vec![bt as u32, k as u32, m as u32, n as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = da {
+                        self.accum_own(a, r, bt * m * k);
+                    }
+                    if let Some(r) = db {
+                        self.accum_own(b, r, bt * k * n);
+                    }
+                }
+                Op::BmmNt(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ad = self.dims_of(a);
+                    let (bt, m, k) = (ad[0], ad[1], ad[2]);
+                    let n = self.dims_of(b)[1];
+                    let gr = self.grad_vreg(i);
+                    let da = if self.rg(a) {
+                        let lb = self.loc(b);
+                        let r = self.fresh(bt * m * k);
+                        // da = g ·ᵇ b : dispatch (Nn, bt, m, n, k).
+                        self.emit(
+                            OpCode::BmmNn,
+                            vec![r],
+                            vec![VLoc::V(gr), lb],
+                            vec![bt as u32, m as u32, n as u32, k as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let db = if self.rg(b) {
+                        let la = self.loc(a);
+                        let r = self.fresh(bt * n * k);
+                        // db = gᵀ ·ᵇ a : dispatch (Tn, bt, n, m, k).
+                        self.emit(
+                            OpCode::BmmTn,
+                            vec![r],
+                            vec![VLoc::V(gr), la],
+                            vec![bt as u32, n as u32, m as u32, k as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = da {
+                        self.accum_own(a, r, bt * m * k);
+                    }
+                    if let Some(r) = db {
+                        self.accum_own(b, r, bt * n * k);
+                    }
+                }
+                Op::RouteOneHot { head, indices } => {
+                    let head = *head;
+                    if self.rg(head) {
+                        let src = self
+                            .routes
+                            .iter()
+                            .position(|r| *r == &indices[..])
+                            .ok_or(CompileError::UnmatchedRoute)? as u32;
+                        let hd = self.dims_of(head);
+                        let (b, k, d) = (hd[0], hd[1], hd[2]);
+                        let l = vd[1];
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            head,
+                            OpCode::RouteScatter,
+                            vec![VLoc::V(gr)],
+                            vec![src, b as u32, l as u32, d as u32, k as u32],
+                            b * k * d,
+                        );
+                    }
+                }
+                Op::MatmulBroadcastNt(a, x) => {
+                    let (a, x) = (*a, *x);
+                    let ad = self.dims_of(a);
+                    let xd = self.dims_of(x);
+                    let (k, d) = (ad[0], ad[1]);
+                    let (bsz, l) = (xd[0], xd[1]);
+                    let bdims = vec![bsz as u32, k as u32, l as u32, d as u32];
+                    let gr = self.grad_vreg(i);
+                    let da = if self.rg(a) {
+                        let lx = self.loc(x);
+                        let r = self.fresh(k * d);
+                        let tmp = self.fresh(k * d);
+                        self.emit(
+                            OpCode::BcastNtDa,
+                            vec![r, tmp],
+                            vec![VLoc::V(gr), lx],
+                            bdims.clone(),
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let dx = if self.rg(x) {
+                        let la = self.loc(a);
+                        let r = self.fresh(bsz * l * d);
+                        self.emit(
+                            OpCode::BcastNtDx,
+                            vec![r],
+                            vec![VLoc::V(gr), la],
+                            bdims,
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = da {
+                        self.accum_own(a, r, k * d);
+                    }
+                    if let Some(r) = dx {
+                        self.accum_own(x, r, bsz * l * d);
+                    }
+                }
+                Op::Transpose2(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            a,
+                            OpCode::Transpose2,
+                            vec![VLoc::V(gr)],
+                            vec![vd[0] as u32, vd[1] as u32],
+                            nl,
+                        );
+                    }
+                }
+                Op::TransposeLast2(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            a,
+                            OpCode::TransposeLast2,
+                            vec![VLoc::V(gr)],
+                            vec![vd[0] as u32, vd[1] as u32, vd[2] as u32],
+                            nl,
+                        );
+                    }
+                }
+                Op::SwapAxes01(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            a,
+                            OpCode::Swap01,
+                            vec![VLoc::V(gr)],
+                            vec![vd[0] as u32, vd[1] as u32, vd[2] as u32],
+                            nl,
+                        );
+                    }
+                }
+                // The interpreter's fused reshape rule is flat clone / flat
+                // axpy — exactly `accum_scaled(·, 1.0)` at the slot level.
+                Op::Reshape(a) => self.accum_scaled(*a, 1.0, i),
+                Op::AddRowBroadcast(x, bias) => {
+                    let (x, bias) = (*x, *bias);
+                    self.accum_scaled(x, 1.0, i);
+                    if self.rg(bias) {
+                        let n = self.numel(bias);
+                        let rows = nl / n;
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            bias,
+                            OpCode::BiasGrad,
+                            vec![VLoc::V(gr)],
+                            vec![rows as u32, n as u32],
+                            n,
+                        );
+                    }
+                }
+                Op::SoftmaxLast(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let n = *vd.last().expect("tensor dims are never empty");
+                        let rows = nl / n;
+                        let ly = self.node_loc[i].expect("forward pass locates every live node");
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            a,
+                            OpCode::SoftmaxBwd,
+                            vec![ly, VLoc::V(gr)],
+                            vec![rows as u32, n as u32],
+                            nl,
+                        );
+                    }
+                }
+                Op::LayerNormLast { x, gamma, beta, .. } => {
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
+                    if self.rg(x) || self.rg(gamma) || self.rg(beta) {
+                        let n = *vd.last().expect("tensor dims are never empty");
+                        let rows = nl / n;
+                        let cache = self.ln_cache[&i];
+                        let (lx, lg) = (self.loc(x), self.loc(gamma));
+                        let gr = self.grad_vreg(i);
+                        let dx = self.fresh(nl);
+                        let dgamma = self.fresh(n);
+                        let dbeta = self.fresh(n);
+                        self.emit(
+                            OpCode::LayerNormBwd,
+                            vec![dx, dgamma, dbeta],
+                            vec![lx, lg, VLoc::V(cache), VLoc::V(gr)],
+                            vec![rows as u32, n as u32],
+                            0.0,
+                        );
+                        if self.rg(x) {
+                            self.accum_own(x, dx, nl);
+                        }
+                        if self.rg(gamma) {
+                            self.accum_own(gamma, dgamma, n);
+                        }
+                        if self.rg(beta) {
+                            self.accum_own(beta, dbeta, n);
+                        }
+                    }
+                }
+                Op::ConcatLast(a, b, split) => {
+                    let (a, b, na) = (*a, *b, *split);
+                    let nb = *self.dims_of(b).last().expect("tensor dims are never empty");
+                    let rows = self.numel(a) / na;
+                    let gr = self.grad_vreg(i);
+                    let ga = if self.rg(a) {
+                        let r = self.fresh(rows * na);
+                        self.emit(
+                            OpCode::SliceCols,
+                            vec![r],
+                            vec![VLoc::V(gr)],
+                            vec![rows as u32, (na + nb) as u32, 0, na as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    let gb = if self.rg(b) {
+                        let r = self.fresh(rows * nb);
+                        self.emit(
+                            OpCode::SliceCols,
+                            vec![r],
+                            vec![VLoc::V(gr)],
+                            vec![rows as u32, (na + nb) as u32, na as u32, (na + nb) as u32],
+                            0.0,
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    if let Some(r) = ga {
+                        self.accum_own(a, r, rows * na);
+                    }
+                    if let Some(r) = gb {
+                        self.accum_own(b, r, rows * nb);
+                    }
+                }
+                Op::SliceLast(a, start, end) => {
+                    let (a, start, end) = (*a, *start, *end);
+                    if self.rg(a) {
+                        let n = *self.dims_of(a).last().expect("tensor dims are never empty");
+                        let an = self.numel(a);
+                        let rows = an / n;
+                        let gr = self.grad_vreg(i);
+                        self.contrib(
+                            a,
+                            OpCode::ScatterCols,
+                            vec![VLoc::V(gr)],
+                            vec![rows as u32, n as u32, start as u32, (end - start) as u32],
+                            an,
+                        );
+                    }
+                }
+                Op::MeanAll(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let GradRepr::Const(c) = self.grad[i].expect("scalar grad is seeded before the backward walk") else {
+                            return Err(CompileError::NonConstScalarGrad);
+                        };
+                        let an = self.numel(a);
+                        // Folded with the interpreter's exact arithmetic:
+                        // `g.item() / n as f32`.
+                        let imm = c / an as f32;
+                        let r = self.fresh(an);
+                        self.emit(OpCode::Fill, vec![r], vec![], vec![an as u32], imm);
+                        self.accum_own(a, r, an);
+                    }
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    if self.rg(a) {
+                        let GradRepr::Const(c) = self.grad[i].expect("scalar grad is seeded before the backward walk") else {
+                            return Err(CompileError::NonConstScalarGrad);
+                        };
+                        let an = self.numel(a);
+                        let r = self.fresh(an);
+                        self.emit(OpCode::Fill, vec![r], vec![], vec![an as u32], c);
+                        self.accum_own(a, r, an);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness + slot allocation
+// ---------------------------------------------------------------------------
+
+/// Linear-scan register allocation over pool-class-sized slots.
+///
+/// Classes are `numel.next_power_of_two()` element capacities with one free
+/// list each. Destinations are assigned *before* an instruction's dying
+/// operands are released, so a destination can never alias a same-instruction
+/// argument. `pinned` vregs (parameter gradients, the loss, the output) are
+/// never recycled.
+fn allocate(
+    vinstrs: &[VInstr],
+    vnumel: &[usize],
+    pinned: &[u32],
+) -> (Vec<Instr>, Vec<usize>, Vec<u32>) {
+    let nv = vnumel.len();
+    let mut last = vec![0usize; nv];
+    for (ii, vi) in vinstrs.iter().enumerate() {
+        for &o in &vi.outs {
+            last[o as usize] = ii;
+        }
+        for l in &vi.ins {
+            if let VLoc::V(r) = *l {
+                last[r as usize] = ii;
+            }
+        }
+    }
+    for &p in pinned {
+        last[p as usize] = usize::MAX;
+    }
+
+    let class = |numel: usize| numel.next_power_of_two().max(1);
+    let mut slot_of = vec![u32::MAX; nv];
+    let mut caps: Vec<usize> = Vec::new();
+    let mut free: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+    let mut instrs = Vec::with_capacity(vinstrs.len());
+    for (ii, vi) in vinstrs.iter().enumerate() {
+        for &o in &vi.outs {
+            let oi = o as usize;
+            if slot_of[oi] == u32::MAX {
+                let cap = class(vnumel[oi]);
+                let s = free.get_mut(&cap).and_then(|v| v.pop()).unwrap_or_else(|| {
+                    caps.push(cap);
+                    (caps.len() - 1) as u32
+                });
+                slot_of[oi] = s;
+            }
+        }
+        instrs.push(Instr {
+            op: vi.op,
+            dsts: vi.outs.iter().map(|&o| slot_of[o as usize]).collect(),
+            args: vi
+                .ins
+                .iter()
+                .map(|l| match *l {
+                    VLoc::V(r) => Loc::Slot(slot_of[r as usize]),
+                    VLoc::Param(p) => Loc::Param(p),
+                    VLoc::Input(j) => Loc::Input(j),
+                    VLoc::Static(s) => Loc::Static(s),
+                })
+                .collect(),
+            dims: vi.dims.clone(),
+            imm: vi.imm,
+        });
+        let mut dying: Vec<u32> = Vec::new();
+        for l in &vi.ins {
+            if let VLoc::V(r) = *l {
+                if last[r as usize] == ii {
+                    dying.push(r);
+                }
+            }
+        }
+        for &o in &vi.outs {
+            if last[o as usize] == ii {
+                dying.push(o);
+            }
+        }
+        dying.sort_unstable();
+        dying.dedup();
+        for r in dying {
+            free.entry(class(vnumel[r as usize])).or_default().push(slot_of[r as usize]);
+        }
+    }
+    (instrs, caps, slot_of)
+}
+
+// ---------------------------------------------------------------------------
+// Compile entry points
+// ---------------------------------------------------------------------------
+
+fn compile(
+    g: &Graph,
+    pv: &ParamVars,
+    store: &ParamStore,
+    inputs: &[&Tensor],
+    routes: &[&[u32]],
+    loss: Option<Var>,
+    output: Option<Var>,
+) -> Result<Plan, CompileError> {
+    focus_trace::span!("plan/compile");
+    if inputs.len() > u8::MAX as usize + 1 {
+        return Err(CompileError::TooManyInputs);
+    }
+    let mut em = Emitter::new(g, pv, inputs, routes);
+    em.forward_pass()?;
+
+    let mut pinned: Vec<u32> = Vec::new();
+    let mut update_vregs: Vec<(u32, u32)> = Vec::new();
+    let mut loss_vreg = None;
+    let mut output_vreg = None;
+
+    if let Some(loss) = loss {
+        em.backward_pass(loss)?;
+        for pi in 0..store.len() {
+            let var = pv.raw()[pi];
+            match em.grad[var.0] {
+                None => {}
+                Some(GradRepr::V(r)) => update_vregs.push((pi as u32, r)),
+                Some(GradRepr::Const(c)) => {
+                    let n = store.tensor_at(pi).numel();
+                    let r = em.fresh(n);
+                    em.emit(OpCode::Fill, vec![r], vec![], vec![n as u32], c);
+                    update_vregs.push((pi as u32, r));
+                }
+            }
+        }
+        let VLoc::V(lv) = em.loc(loss) else {
+            return Err(CompileError::BadOutput);
+        };
+        loss_vreg = Some(lv);
+        pinned.push(lv);
+        pinned.extend(update_vregs.iter().map(|&(_, r)| r));
+    }
+    if let Some(out) = output {
+        let VLoc::V(ov) = em.loc(out) else {
+            return Err(CompileError::BadOutput);
+        };
+        output_vreg = Some((ov, g.nodes[out.0].value.dims().to_vec()));
+        pinned.push(ov);
+    }
+
+    let (instrs, slot_caps, slot_of) = allocate(&em.instrs, &em.vnumel, &pinned);
+    let plan = Plan {
+        instrs,
+        slot_caps,
+        statics: em.statics,
+        inputs: inputs.iter().map(|t| t.dims().to_vec()).collect(),
+        route_lens: routes.iter().map(|r| r.len()).collect(),
+        params: (0..store.len()).map(|i| store.tensor_at(i).dims().to_vec()).collect(),
+        updates: update_vregs
+            .into_iter()
+            .map(|(pi, r)| UpdateSpec {
+                param: pi,
+                grad_slot: slot_of[r as usize],
+                dims: store.tensor_at(pi as usize).dims().to_vec(),
+            })
+            .collect(),
+        loss_slot: loss_vreg.map(|v| slot_of[v as usize]),
+        output: output_vreg.map(|(v, dims)| (slot_of[v as usize], dims)),
+    };
+    focus_trace::counter_set("plan/instrs", plan.instrs.len() as u64);
+    focus_trace::counter_set("plan/slots", plan.slot_caps.len() as u64);
+    Ok(plan)
+}
+
+/// Compiles a recorded training step (forward + backward + updates) into a
+/// plan.
+///
+/// Must be called on a tape recorded with the fused kernels enabled
+/// ([`crate::set_fused`]); the emitted backward mirrors the fused rules.
+pub fn compile_train(
+    g: &Graph,
+    loss: Var,
+    pv: &ParamVars,
+    store: &ParamStore,
+    inputs: &[&Tensor],
+    routes: &[&[u32]],
+) -> Result<Plan, CompileError> {
+    compile(g, pv, store, inputs, routes, Some(loss), None)
+}
+
+/// Compiles a recorded forward pass into an inference-only plan producing
+/// the value of `output`.
+pub fn compile_forward(
+    g: &Graph,
+    output: Var,
+    pv: &ParamVars,
+    store: &ParamStore,
+    inputs: &[&Tensor],
+    routes: &[&[u32]],
+) -> Result<Plan, CompileError> {
+    compile(g, pv, store, inputs, routes, None, Some(output))
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: "focus-plan v1" line-oriented text format
+// ---------------------------------------------------------------------------
+
+const MAGIC: &str = "focus-plan v1";
+
+/// Parse failure for the plan text format. `line` is 1-based.
+#[derive(Debug)]
+pub struct PlanFormatError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for PlanFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan format error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PlanFormatError {}
+
+fn perr(line: usize, msg: impl Into<String>) -> PlanFormatError {
+    PlanFormatError { line, msg: msg.into() }
+}
+
+fn write_dims(s: &mut String, dims: &[usize]) {
+    let _ = write!(s, " {}", dims.len());
+    for d in dims {
+        let _ = write!(s, " {d}");
+    }
+}
+
+impl Plan {
+    /// Serializes the plan to the versioned `focus-plan v1` text format.
+    ///
+    /// Floats (instruction immediates, baked statics) are written as `f32`
+    /// bit patterns in hex, so [`Plan::from_text`] round-trips bitwise.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "mode {}", if self.is_train() { "train" } else { "forward" });
+        let _ = writeln!(s, "slots {}", self.slot_caps.len());
+        for cap in &self.slot_caps {
+            let _ = writeln!(s, "slot {cap}");
+        }
+        let _ = writeln!(s, "statics {}", self.statics.len());
+        for (dims, data) in &self.statics {
+            let mut line = String::from("static");
+            write_dims(&mut line, dims);
+            line.push_str(" :");
+            for v in data {
+                let _ = write!(line, " {:08x}", v.to_bits());
+            }
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "inputs {}", self.inputs.len());
+        for dims in &self.inputs {
+            let mut line = String::from("input");
+            write_dims(&mut line, dims);
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "routes {}", self.route_lens.len());
+        for len in &self.route_lens {
+            let _ = writeln!(s, "route {len}");
+        }
+        let _ = writeln!(s, "params {}", self.params.len());
+        for dims in &self.params {
+            let mut line = String::from("param");
+            write_dims(&mut line, dims);
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "instrs {}", self.instrs.len());
+        for ins in &self.instrs {
+            let mut line = format!("i {} d {}", ins.op.name(), ins.dsts.len());
+            for d in &ins.dsts {
+                let _ = write!(line, " {d}");
+            }
+            let _ = write!(line, " a {}", ins.args.len());
+            for a in &ins.args {
+                let _ = write!(line, " {}", a.token());
+            }
+            let _ = write!(line, " m {}", ins.dims.len());
+            for d in &ins.dims {
+                let _ = write!(line, " {d}");
+            }
+            let _ = write!(line, " imm {:08x}", ins.imm.to_bits());
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "updates {}", self.updates.len());
+        for u in &self.updates {
+            let mut line = format!("u {} {}", u.param, u.grad_slot);
+            write_dims(&mut line, &u.dims);
+            let _ = writeln!(s, "{line}");
+        }
+        if let Some(slot) = self.loss_slot {
+            let _ = writeln!(s, "loss {slot}");
+        }
+        if let Some((slot, dims)) = &self.output {
+            let mut line = format!("output {slot}");
+            write_dims(&mut line, dims);
+            let _ = writeln!(s, "{line}");
+        }
+        let _ = writeln!(s, "end");
+        s
+    }
+
+    /// Parses the `focus-plan v1` text format written by [`Plan::to_text`].
+    pub fn from_text(text: &str) -> Result<Plan, PlanFormatError> {
+        let mut p = Parser { lines: text.lines().enumerate() };
+        p.expect_line(MAGIC)?;
+        let (ln, toks) = p.next_tokens()?;
+        let mode_train = match toks.as_slice() {
+            ["mode", "train"] => true,
+            ["mode", "forward"] => false,
+            _ => return Err(perr(ln, "expected `mode train|forward`")),
+        };
+        let n_slots = p.counted_header("slots")?;
+        let mut slot_caps = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let (ln, toks) = p.next_tokens()?;
+            match toks.as_slice() {
+                ["slot", cap] => slot_caps.push(parse_num(ln, cap)?),
+                _ => return Err(perr(ln, "expected `slot <cap>`")),
+            }
+        }
+        let n_statics = p.counted_header("statics")?;
+        let mut statics = Vec::with_capacity(n_statics);
+        for _ in 0..n_statics {
+            let (ln, toks) = p.next_tokens()?;
+            if toks.first() != Some(&"static") {
+                return Err(perr(ln, "expected `static ...`"));
+            }
+            let mut it = toks[1..].iter();
+            let dims = parse_dims(ln, &mut it)?;
+            if it.next() != Some(&":") {
+                return Err(perr(ln, "expected `:` before static data"));
+            }
+            let mut data = Vec::new();
+            for tok in it {
+                let bits = u32::from_str_radix(tok, 16)
+                    .map_err(|_| perr(ln, format!("bad f32 bits `{tok}`")))?;
+                data.push(f32::from_bits(bits));
+            }
+            if data.len() != dims.iter().product::<usize>() {
+                return Err(perr(ln, "static data length does not match dims"));
+            }
+            statics.push((dims, data));
+        }
+        let n_inputs = p.counted_header("inputs")?;
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            inputs.push(p.dims_line("input")?);
+        }
+        let n_routes = p.counted_header("routes")?;
+        let mut route_lens = Vec::with_capacity(n_routes);
+        for _ in 0..n_routes {
+            let (ln, toks) = p.next_tokens()?;
+            match toks.as_slice() {
+                ["route", len] => route_lens.push(parse_num(ln, len)?),
+                _ => return Err(perr(ln, "expected `route <len>`")),
+            }
+        }
+        let n_params = p.counted_header("params")?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(p.dims_line("param")?);
+        }
+        let n_instrs = p.counted_header("instrs")?;
+        let mut instrs = Vec::with_capacity(n_instrs);
+        for _ in 0..n_instrs {
+            let (ln, toks) = p.next_tokens()?;
+            if toks.first() != Some(&"i") {
+                return Err(perr(ln, "expected `i <op> ...`"));
+            }
+            let mut it = toks[1..].iter();
+            let opname = it.next().ok_or_else(|| perr(ln, "missing opcode"))?;
+            let op = OpCode::from_name(opname)
+                .ok_or_else(|| perr(ln, format!("unknown opcode `{opname}`")))?;
+            let dsts = parse_tagged_u32s(ln, &mut it, "d")?;
+            if it.next() != Some(&"a") {
+                return Err(perr(ln, "expected `a <n>` arg section"));
+            }
+            let na: usize = {
+                let t = it.next().ok_or_else(|| perr(ln, "missing arg count"))?;
+                parse_num(ln, t)?
+            };
+            let mut args = Vec::with_capacity(na);
+            for _ in 0..na {
+                let t = it.next().ok_or_else(|| perr(ln, "missing arg token"))?;
+                args.push(
+                    Loc::from_token(t).ok_or_else(|| perr(ln, format!("bad loc `{t}`")))?,
+                );
+            }
+            let dims = parse_tagged_u32s(ln, &mut it, "m")?;
+            if it.next() != Some(&"imm") {
+                return Err(perr(ln, "expected `imm <hex>`"));
+            }
+            let immtok = it.next().ok_or_else(|| perr(ln, "missing imm"))?;
+            let imm = f32::from_bits(
+                u32::from_str_radix(immtok, 16)
+                    .map_err(|_| perr(ln, format!("bad imm bits `{immtok}`")))?,
+            );
+            instrs.push(Instr { op, dsts, args, dims, imm });
+        }
+        let n_updates = p.counted_header("updates")?;
+        let mut updates = Vec::with_capacity(n_updates);
+        for _ in 0..n_updates {
+            let (ln, toks) = p.next_tokens()?;
+            if toks.first() != Some(&"u") || toks.len() < 3 {
+                return Err(perr(ln, "expected `u <param> <grad_slot> <dims>`"));
+            }
+            let param = parse_num(ln, toks[1])?;
+            let grad_slot = parse_num(ln, toks[2])?;
+            let mut it = toks[3..].iter();
+            let dims = parse_dims(ln, &mut it)?;
+            updates.push(UpdateSpec { param, grad_slot, dims });
+        }
+        let (mut loss_slot, mut output) = (None, None);
+        if mode_train {
+            let (ln, toks) = p.next_tokens()?;
+            match toks.as_slice() {
+                ["loss", slot] => loss_slot = Some(parse_num(ln, slot)?),
+                _ => return Err(perr(ln, "expected `loss <slot>`")),
+            }
+        } else {
+            let (ln, toks) = p.next_tokens()?;
+            if toks.first() != Some(&"output") || toks.len() < 3 {
+                return Err(perr(ln, "expected `output <slot> <dims>`"));
+            }
+            let slot = parse_num(ln, toks[1])?;
+            let mut it = toks[2..].iter();
+            output = Some((slot, parse_dims(ln, &mut it)?));
+        }
+        p.expect_line("end")?;
+        Ok(Plan {
+            instrs,
+            slot_caps,
+            statics,
+            inputs,
+            route_lens,
+            params,
+            updates,
+            loss_slot,
+            output,
+        })
+    }
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn next_tokens(&mut self) -> Result<(usize, Vec<&'a str>), PlanFormatError> {
+        match self.lines.next() {
+            Some((idx, line)) => Ok((idx + 1, line.split_whitespace().collect())),
+            None => Err(perr(0, "unexpected end of plan text")),
+        }
+    }
+
+    fn expect_line(&mut self, want: &str) -> Result<(), PlanFormatError> {
+        let (ln, toks) = self.next_tokens()?;
+        if toks.join(" ") != want {
+            return Err(perr(ln, format!("expected `{want}`")));
+        }
+        Ok(())
+    }
+
+    fn counted_header(&mut self, key: &str) -> Result<usize, PlanFormatError> {
+        let (ln, toks) = self.next_tokens()?;
+        match toks.as_slice() {
+            [k, n] if *k == key => parse_num(ln, n),
+            _ => Err(perr(ln, format!("expected `{key} <n>`"))),
+        }
+    }
+
+    fn dims_line(&mut self, key: &str) -> Result<Vec<usize>, PlanFormatError> {
+        let (ln, toks) = self.next_tokens()?;
+        if toks.first() != Some(&key) {
+            return Err(perr(ln, format!("expected `{key} <dims>`")));
+        }
+        let mut it = toks[1..].iter();
+        parse_dims(ln, &mut it)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(ln: usize, tok: &str) -> Result<T, PlanFormatError> {
+    tok.parse().map_err(|_| perr(ln, format!("bad number `{tok}`")))
+}
+
+fn parse_dims(
+    ln: usize,
+    it: &mut std::slice::Iter<'_, &str>,
+) -> Result<Vec<usize>, PlanFormatError> {
+    let n: usize = {
+        let t = it.next().ok_or_else(|| perr(ln, "missing dim count"))?;
+        parse_num(ln, t)?
+    };
+    let mut dims = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = it.next().ok_or_else(|| perr(ln, "missing dim"))?;
+        dims.push(parse_num(ln, t)?);
+    }
+    Ok(dims)
+}
+
+fn parse_tagged_u32s(
+    ln: usize,
+    it: &mut std::slice::Iter<'_, &str>,
+    tag: &str,
+) -> Result<Vec<u32>, PlanFormatError> {
+    if it.next() != Some(&tag) {
+        return Err(perr(ln, format!("expected `{tag} <n>` section")));
+    }
+    let n: usize = {
+        let t = it.next().ok_or_else(|| perr(ln, "missing count"))?;
+        parse_num(ln, t)?
+    };
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = it.next().ok_or_else(|| perr(ln, "missing value"))?;
+        out.push(parse_num(ln, t)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache: compile → verify → replay state machine
+// ---------------------------------------------------------------------------
+
+enum CacheState {
+    /// No candidate yet; the next observed step compiles one.
+    Cold,
+    /// One candidate compiled; the next observed step compiles again and
+    /// promotes only on a bitwise match.
+    Verify(Box<Plan>),
+    /// Verified plan with its slot buffers; replay until shapes change.
+    Ready(Box<Plan>, Vec<Vec<f32>>),
+    /// Compilation failed or verification caught a per-window-varying
+    /// constant; interpret for the rest of the run (sticky).
+    Off,
+}
+
+/// Drives plan compilation, two-step verification and steady-state replay
+/// for one training (or evaluation) loop.
+///
+/// Usage per step: first try [`PlanCache::try_replay_train`]; on `None`, run
+/// the interpreted step and hand the tape to [`PlanCache::observe_train`]
+/// (likewise `*_forward` for inference loops). The cache only engages when
+/// both the fused kernels ([`crate::set_fused`]) and plans
+/// ([`set_enabled`]) are on.
+pub struct PlanCache {
+    state: CacheState,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache { state: CacheState::Cold }
+    }
+
+    /// True while the cache can still make progress (not sticky-off and the
+    /// global gates are open). Callers skip route extraction and tape
+    /// bookkeeping once this goes false.
+    pub fn active(&self) -> bool {
+        !matches!(self.state, CacheState::Off) && crate::fused_enabled() && enabled()
+    }
+
+    /// True once a verified plan is installed.
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, CacheState::Ready(..))
+    }
+
+    /// True if the cache gave up for this run.
+    pub fn is_off(&self) -> bool {
+        matches!(self.state, CacheState::Off)
+    }
+
+    /// State name for reports and tests.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            CacheState::Cold => "cold",
+            CacheState::Verify(_) => "verify",
+            CacheState::Ready(..) => "ready",
+            CacheState::Off => "off",
+        }
+    }
+
+    /// The installed plan, if verified.
+    pub fn plan(&self) -> Option<&Plan> {
+        match &self.state {
+            CacheState::Ready(plan, _) => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// Replays one training step if a verified plan matches the current
+    /// geometry. Returns the loss, or `None` if the caller must interpret
+    /// this step (cache cold/off, gates closed, or shapes changed — the
+    /// latter also resets the cache so a new plan can be compiled).
+    pub fn try_replay_train<O: Optimizer>(
+        &mut self,
+        inputs: &[&Tensor],
+        routes: &[&[u32]],
+        store: &mut ParamStore,
+        opt: &mut O,
+    ) -> Option<f32> {
+        if !self.active() {
+            return None;
+        }
+        match &mut self.state {
+            CacheState::Ready(plan, slots) => {
+                if plan.matches(inputs, routes, store) {
+                    let data: Vec<&[f32]> = inputs.iter().map(|t| t.data()).collect();
+                    Some(vm::replay_train(plan, slots, &data, routes, store, opt))
+                } else {
+                    self.state = CacheState::Cold;
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Replays one forward pass if a verified plan matches, returning the
+    /// output tensor.
+    pub fn try_replay_forward(
+        &mut self,
+        inputs: &[&Tensor],
+        routes: &[&[u32]],
+        store: &ParamStore,
+    ) -> Option<Tensor> {
+        if !self.active() {
+            return None;
+        }
+        match &mut self.state {
+            CacheState::Ready(plan, slots) => {
+                if plan.matches(inputs, routes, store) {
+                    let data: Vec<&[f32]> = inputs.iter().map(|t| t.data()).collect();
+                    Some(vm::replay_forward(plan, slots, &data, routes, store))
+                } else {
+                    self.state = CacheState::Cold;
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Feeds one interpreted training step's tape to the compiler and
+    /// advances the verification state machine.
+    pub fn observe_train(
+        &mut self,
+        g: &Graph,
+        loss: Var,
+        pv: &ParamVars,
+        store: &ParamStore,
+        inputs: &[&Tensor],
+        routes: &[&[u32]],
+    ) {
+        if !self.active() {
+            return;
+        }
+        match compile_train(g, loss, pv, store, inputs, routes) {
+            Ok(cand) => self.advance(cand),
+            Err(_) => self.state = CacheState::Off,
+        }
+    }
+
+    /// Feeds one interpreted forward pass's tape to the compiler and
+    /// advances the verification state machine.
+    pub fn observe_forward(
+        &mut self,
+        g: &Graph,
+        output: Var,
+        pv: &ParamVars,
+        store: &ParamStore,
+        inputs: &[&Tensor],
+        routes: &[&[u32]],
+    ) {
+        if !self.active() {
+            return;
+        }
+        match compile_forward(g, output, pv, store, inputs, routes) {
+            Ok(cand) => self.advance(cand),
+            Err(_) => self.state = CacheState::Off,
+        }
+    }
+
+    fn advance(&mut self, cand: Plan) {
+        self.state = match std::mem::replace(&mut self.state, CacheState::Off) {
+            CacheState::Cold | CacheState::Ready(..) => CacheState::Verify(Box::new(cand)),
+            CacheState::Verify(prev) => {
+                if *prev == cand {
+                    let slots = cand.alloc_slots();
+                    CacheState::Ready(Box::new(cand), slots)
+                } else if prev.shape_signature() != cand.shape_signature() {
+                    // Shapes moved during warmup — restart verification on
+                    // the new geometry.
+                    CacheState::Verify(Box::new(cand))
+                } else {
+                    // Same shapes, different contents: some baked constant
+                    // varies per window. Replaying would be wrong; give up.
+                    CacheState::Off
+                }
+            }
+            CacheState::Off => CacheState::Off,
+        };
+    }
+}

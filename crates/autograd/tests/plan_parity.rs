@@ -1,0 +1,445 @@
+//! Parity suite for the plan compiler and VM.
+//!
+//! A compiled plan must be a pure performance transform: replaying it has to
+//! produce bit-for-bit the parameters, losses and outputs the fused
+//! interpreter produces, at every thread count. These tests drive a small
+//! model that touches every op in the tape — dense and batched matmuls, the
+//! broadcast-NT prototype product, one-hot routing, LayerNorm, softmax,
+//! every pointwise nonlinearity, concat/slice, reshape/transpose/swap and
+//! the scalar reductions — through the PlanCache state machine and compare
+//! against interpreted runs.
+//!
+//! Plans and the fused/threads switches are process-global, so every test
+//! takes a shared lock and restores the defaults on exit.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use focus_autograd::plan::{self, Plan, PlanCache};
+use focus_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, ParamVars, Sgd, Var};
+use focus_tensor::{par, Tensor};
+
+const B: usize = 2;
+const D: usize = 3;
+const H: usize = 8;
+const K: usize = 3;
+/// Default window length; the invalidation test switches to another value.
+const SEQ: usize = 4;
+
+/// Serializes tests: plans, the fused flag and the thread override are
+/// process-global, and each test compares two runs that must see identical
+/// settings throughout.
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Deterministic pseudo-random data so both runs of a pair see identical
+/// bytes without a RNG dependency.
+fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u32)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(seed.wrapping_mul(0x9e37_79b9));
+            let h = h ^ (h >> 13);
+            (((h % 2000) as f32 / 1000.0) - 1.0) * 0.4
+        })
+        .collect()
+}
+
+struct Model {
+    store: ParamStore,
+    ids: Vec<ParamId>,
+}
+
+fn init_model() -> Model {
+    let mut store = ParamStore::new();
+    let mut ids = Vec::new();
+    ids.push(store.add("w1", Tensor::from_vec(pseudo(D * H, 1), &[D, H])));
+    ids.push(store.add("b1", Tensor::from_vec(pseudo(H, 2), &[H])));
+    let gamma: Vec<f32> = pseudo(H, 3).iter().map(|v| 1.0 + 0.1 * v).collect();
+    ids.push(store.add("gamma", Tensor::from_vec(gamma, &[H])));
+    ids.push(store.add("beta", Tensor::from_vec(pseudo(H, 4), &[H])));
+    ids.push(store.add("proto", Tensor::from_vec(pseudo(K * H, 5), &[K, H])));
+    ids.push(store.add("w2", Tensor::from_vec(pseudo(H + 2, 6), &[H + 2, 1])));
+    Model { store, ids }
+}
+
+/// One training window: input, target and routing indices vary per step the
+/// way real windows do, so steady-state replay sees fresh data each call.
+fn sample(seq: usize, step: u32) -> (Tensor, Tensor, Vec<u32>) {
+    let x = Tensor::from_vec(pseudo(B * seq * D, 100 + step), &[B, seq, D]);
+    let t = Tensor::from_vec(pseudo(B * seq, 200 + step), &[B * seq]);
+    let routes: Vec<u32> = (0..B * seq)
+        .map(|i| ((i as u32).wrapping_mul(7).wrapping_add(step)) % K as u32)
+        .collect();
+    (x, t, routes)
+}
+
+/// Records the full test model onto `g` and returns `(loss, pred)`. The
+/// graph deliberately routes `h3` through many consumers so gradient
+/// accumulation chains (the bitwise-sensitive part) are exercised hard.
+fn build_loss(
+    g: &mut Graph,
+    pv: &ParamVars,
+    ids: &[ParamId],
+    seq: usize,
+    x_t: &Tensor,
+    tgt_t: &Tensor,
+    routes: &[u32],
+) -> (Var, Var) {
+    let (w1, b1) = (pv.var(ids[0]), pv.var(ids[1]));
+    let (gamma, beta) = (pv.var(ids[2]), pv.var(ids[3]));
+    let (proto, w2) = (pv.var(ids[4]), pv.var(ids[5]));
+    let x = g.constant(x_t.clone());
+    let tgt = g.constant(tgt_t.clone());
+
+    let flat = g.reshape(x, &[B * seq, D]);
+    let h1 = g.matmul(flat, w1);
+    let h1 = g.add_row_broadcast(h1, b1);
+    let h1 = g.gelu(h1);
+    let h1 = g.layer_norm(h1, gamma, beta, 1e-5);
+    let h3 = g.reshape(h1, &[B, seq, H]);
+    let scores = g.matmul_broadcast_nt(proto, h3); // [B, K, seq]
+    let attn = g.softmax_last(scores);
+    let summ = g.bmm(attn, h3); // [B, K, H]
+    let routed = g.route_one_hot(summ, routes, seq); // [B, seq, H]
+    let cat = g.concat_last(h3, routed); // [B, seq, 2H]
+    let sl = g.slice_last(cat, 1, H + 3); // [B, seq, H+2]
+    let flat2 = g.reshape(sl, &[B * seq, H + 2]);
+    let pred = g.matmul(flat2, w2); // [B*seq, 1]
+    let pred = g.tanh(pred);
+    let pred = g.scale(pred, 1.5);
+    let pred = g.add_scalar(pred, 0.1);
+    let predf = g.reshape(pred, &[B * seq]);
+    let l_mse = g.mse(predf, tgt);
+
+    // Coverage branches: elementwise ops, the remaining transposes and both
+    // batched-matmul adjoints, all feeding small scalar penalties.
+    let dif = g.sub(h3, routed);
+    let sq = g.mul(dif, dif);
+    let l_sq = g.mean_all(sq);
+    let ab = g.abs(dif);
+    let l_abs = g.mean_all(ab);
+    let q = g.bmm_nt(h3, h3); // [B, seq, seq]
+    let q2 = g.sigmoid(q);
+    let l_q = g.mean_all(q2);
+    let sw = g.swap_axes01(h3); // [seq, B, H]
+    let swt = g.transpose_last2(sw); // [seq, H, B]
+    let rl = g.relu(swt);
+    let l_r = g.sum_all(rl);
+    let xt = g.transpose(flat); // [D, B*seq]
+    let w1t = g.transpose(w1); // [H, D]
+    let alt = g.matmul(w1t, xt); // [H, B*seq]
+    let aa = g.abs(alt);
+    let l_alt = g.mean_all(aa);
+    let na = g.neg(l_alt);
+
+    let s1 = g.scale(l_sq, 0.05);
+    let s2 = g.scale(l_abs, 0.05);
+    let s3 = g.scale(l_q, 0.02);
+    let s4 = g.scale(l_r, 0.001);
+    let t1 = g.add(l_mse, s1);
+    let t2 = g.add(s2, s3);
+    let t3 = g.sub(t1, na); // == t1 + l_alt
+    let t4 = g.add(t2, s4);
+    (g.add(t3, t4), pred)
+}
+
+/// One interpreted training step: record, backward, update, and optionally
+/// feed the tape to a plan cache (the same call order the core train loop
+/// uses).
+fn interpreted_step<O: Optimizer>(
+    model: &mut Model,
+    opt: &mut O,
+    seq: usize,
+    x: &Tensor,
+    tgt: &Tensor,
+    routes: &[u32],
+    cache: Option<&mut PlanCache>,
+) -> f32 {
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (loss, _) = build_loss(&mut g, &pv, &model.ids, seq, x, tgt, routes);
+    let lv = g.value(loss).data()[0];
+    g.backward(loss);
+    model.store.step(opt, &g, &pv);
+    if let Some(c) = cache {
+        c.observe_train(&g, loss, &pv, &model.store, &[x, tgt], &[routes]);
+    }
+    lv
+}
+
+/// Forward-only loss evaluation (for finite differences).
+fn eval_loss(model: &Model, seq: usize, x: &Tensor, tgt: &Tensor, routes: &[u32]) -> f32 {
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (loss, _) = build_loss(&mut g, &pv, &model.ids, seq, x, tgt, routes);
+    g.value(loss).data()[0]
+}
+
+fn run_interpreted(n_steps: u32) -> (Vec<Tensor>, Vec<f32>) {
+    let mut model = init_model();
+    let mut opt = Adam::new(1e-2);
+    let mut losses = Vec::new();
+    for s in 0..n_steps {
+        let (x, t, r) = sample(SEQ, s);
+        losses.push(interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, None));
+    }
+    (model.store.snapshot(), losses)
+}
+
+fn run_planned(n_steps: u32) -> (Vec<Tensor>, Vec<f32>, u32) {
+    let mut model = init_model();
+    let mut opt = Adam::new(1e-2);
+    let mut cache = PlanCache::new();
+    let mut losses = Vec::new();
+    let mut replays = 0;
+    for s in 0..n_steps {
+        let (x, t, r) = sample(SEQ, s);
+        if let Some(lv) = cache.try_replay_train(&[&x, &t], &[&r], &mut model.store, &mut opt) {
+            replays += 1;
+            losses.push(lv);
+            continue;
+        }
+        losses.push(interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, Some(&mut cache)));
+    }
+    (model.store.snapshot(), losses, replays)
+}
+
+fn assert_bitwise_eq(a: &[Tensor], b: &[Tensor], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: param count");
+    for (i, (ta, tb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ta.dims(), tb.dims(), "{ctx}: param {i} dims");
+        let ba: Vec<u32> = ta.data().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = tb.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ba, bb, "{ctx}: param {i} bits");
+    }
+}
+
+#[test]
+fn replay_is_bitwise_equal_to_interpreter_at_1_2_4_threads() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    for threads in [1usize, 2, 4] {
+        par::set_threads(threads);
+        let (params_i, losses_i) = run_interpreted(8);
+        let (params_p, losses_p, replays) = run_planned(8);
+        // Steps 0 and 1 interpret (compile + verify); 2..8 replay.
+        assert_eq!(replays, 6, "threads={threads}: replay count");
+        assert_bitwise_eq(&params_i, &params_p, &format!("threads={threads}"));
+        for (s, (a, b)) in losses_i.iter().zip(&losses_p).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}: loss at step {s} ({a} vs {b})"
+            );
+        }
+    }
+    par::set_threads(0);
+    plan::set_enabled(false);
+}
+
+#[test]
+fn gradcheck_through_a_replayed_plan() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    let lr = 1e-3f32;
+    let mut model = init_model();
+    let mut opt = Sgd::new(lr);
+    let mut cache = PlanCache::new();
+    let (x, t, r) = sample(SEQ, 0);
+    for _ in 0..2 {
+        interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, Some(&mut cache));
+    }
+    assert!(cache.is_ready(), "cache should verify after two identical-shape steps");
+
+    let before = model.store.snapshot();
+    cache
+        .try_replay_train(&[&x, &t], &[&r], &mut model.store, &mut opt)
+        .expect("ready cache must replay a matching step");
+    let after = model.store.snapshot();
+
+    // SGD: p' = p − lr·g, so (p − p') / lr recovers the replayed gradient up
+    // to one rounding. Check it against central differences of the
+    // interpreted loss.
+    model.store.restore(&before);
+    let eps = 1e-2f32;
+    let mut max_rel = 0.0f32;
+    for (pi, id) in model.ids.iter().enumerate() {
+        for j in 0..before[pi].numel() {
+            let orig = model.store.get(*id).data()[j];
+            model.store.get_mut(*id).data_mut()[j] = orig + eps;
+            let lp = eval_loss(&model, SEQ, &x, &t, &r);
+            model.store.get_mut(*id).data_mut()[j] = orig - eps;
+            let lm = eval_loss(&model, SEQ, &x, &t, &r);
+            model.store.get_mut(*id).data_mut()[j] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = (before[pi].data()[j] - after[pi].data()[j]) / lr;
+            let rel = (analytic - numeric).abs() / numeric.abs().max(1.0);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    assert!(max_rel < 5e-2, "replayed-plan gradcheck failed: max rel err {max_rel}");
+    plan::set_enabled(false);
+}
+
+#[test]
+fn shape_change_invalidates_and_recompiles() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    let mut model = init_model();
+    let mut opt = Adam::new(1e-2);
+    let mut cache = PlanCache::new();
+
+    // Warm to Ready at SEQ.
+    for s in 0..2 {
+        let (x, t, r) = sample(SEQ, s);
+        interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, Some(&mut cache));
+    }
+    assert!(cache.is_ready());
+    let (x, t, r) = sample(SEQ, 2);
+    assert!(cache.try_replay_train(&[&x, &t], &[&r], &mut model.store, &mut opt).is_some());
+
+    // A different window length must refuse to replay and reset the cache
+    // instead of replaying a stale plan.
+    let wide = SEQ + 2;
+    let (x6, t6, r6) = sample(wide, 3);
+    assert!(
+        cache.try_replay_train(&[&x6, &t6], &[&r6], &mut model.store, &mut opt).is_none(),
+        "a plan compiled for seq={SEQ} must not replay seq={wide} inputs"
+    );
+    assert_eq!(cache.state_name(), "cold", "shape mismatch resets the cache");
+
+    // Two steps at the new geometry re-verify and replay again.
+    for s in 4..6 {
+        let (x6, t6, r6) = sample(wide, s);
+        interpreted_step(&mut model, &mut opt, wide, &x6, &t6, &r6, Some(&mut cache));
+    }
+    assert!(cache.is_ready(), "cache recompiles at the new geometry");
+    let (x6, t6, r6) = sample(wide, 6);
+    assert!(cache.try_replay_train(&[&x6, &t6], &[&r6], &mut model.store, &mut opt).is_some());
+    plan::set_enabled(false);
+}
+
+#[test]
+fn shape_change_during_warmup_restarts_verification() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    let mut model = init_model();
+    let mut opt = Adam::new(1e-2);
+    let mut cache = PlanCache::new();
+
+    let (x, t, r) = sample(SEQ, 0);
+    interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, Some(&mut cache));
+    assert_eq!(cache.state_name(), "verify");
+    // Geometry moves mid-warmup: verification restarts, it does not give up.
+    let wide = SEQ + 2;
+    let (x6, t6, r6) = sample(wide, 1);
+    interpreted_step(&mut model, &mut opt, wide, &x6, &t6, &r6, Some(&mut cache));
+    assert_eq!(cache.state_name(), "verify");
+    let (x6, t6, r6) = sample(wide, 2);
+    interpreted_step(&mut model, &mut opt, wide, &x6, &t6, &r6, Some(&mut cache));
+    assert!(cache.is_ready());
+    plan::set_enabled(false);
+}
+
+#[test]
+fn per_window_constant_turns_cache_off() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    let mut model = init_model();
+    let mut opt = Adam::new(1e-2);
+    let mut cache = PlanCache::new();
+
+    // The target is NOT declared as an input here, so it compiles as a baked
+    // static. It varies per step, so the two candidate plans disagree with
+    // identical shapes — replay would be wrong, and the cache must go
+    // (sticky) off rather than promote.
+    for s in 0..2 {
+        let (x, t, r) = sample(SEQ, s);
+        let mut g = Graph::new();
+        let pv = model.store.register(&mut g);
+        let (loss, _) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+        g.backward(loss);
+        model.store.step(&mut opt, &g, &pv);
+        cache.observe_train(&g, loss, &pv, &model.store, &[&x], &[&r]);
+    }
+    assert!(cache.is_off(), "varying baked constants must disable replay");
+    // Off is sticky: further observations don't resurrect it.
+    let (x, t, r) = sample(SEQ, 2);
+    interpreted_step(&mut model, &mut opt, SEQ, &x, &t, &r, Some(&mut cache));
+    assert!(cache.is_off());
+    plan::set_enabled(false);
+}
+
+#[test]
+fn forward_replay_matches_interpreter() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    plan::set_enabled(true);
+    let model = init_model();
+    let mut cache = PlanCache::new();
+
+    for s in 0..2 {
+        let (x, t, r) = sample(SEQ, s);
+        let mut g = Graph::new();
+        let pv = model.store.register(&mut g);
+        let (_, pred) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+        cache.observe_forward(&g, pred, &pv, &model.store, &[&x, &t], &[&r]);
+    }
+    assert!(cache.is_ready());
+
+    let (x, t, r) = sample(SEQ, 7);
+    let replayed = cache
+        .try_replay_forward(&[&x, &t], &[&r], &model.store)
+        .expect("ready forward cache must replay");
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (_, pred) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+    let reference = g.value(pred);
+    assert_eq!(reference.dims(), replayed.dims());
+    let ba: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+    let bb: Vec<u32> = replayed.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ba, bb, "forward replay must be bitwise equal");
+    plan::set_enabled(false);
+}
+
+#[test]
+fn plan_text_round_trip() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    let model = init_model();
+    let (x, t, r) = sample(SEQ, 0);
+
+    // Train plan.
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (loss, pred) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+    let train =
+        plan::compile_train(&g, loss, &pv, &model.store, &[&x, &t], &[&r]).expect("compiles");
+    assert!(train.is_train());
+    assert!(train.n_instrs() > 0 && train.n_slots() > 0);
+    let back = Plan::from_text(&train.to_text()).expect("round-trip parses");
+    assert_eq!(back, train, "train plan text round-trip");
+
+    // Forward plan (fresh tape, no backward).
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (_, pred2) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+    let fwd =
+        plan::compile_forward(&g, pred2, &pv, &model.store, &[&x, &t], &[&r]).expect("compiles");
+    assert!(!fwd.is_train());
+    let back = Plan::from_text(&fwd.to_text()).expect("round-trip parses");
+    assert_eq!(back, fwd, "forward plan text round-trip");
+    let _ = pred;
+
+    // Malformed input reports a 1-based line, not a panic.
+    let err = Plan::from_text("not a plan\n").expect_err("bad magic must fail");
+    assert_eq!(err.line, 1);
+}

@@ -8,7 +8,11 @@
 //!   the pre-pool/pre-fusion per-step behaviour (every kernel allocates its
 //!   output and the reference serial backward rules run);
 //! * **after** — pooled allocation + fused forward/backward kernels +
-//!   fused AdamW, swept across 1/2/4/max worker threads.
+//!   fused AdamW, swept across 1/2/4/max worker threads;
+//! * **plan** — the compiled-plan VM: after two interpreted warmup steps
+//!   the tape is lowered to a flat instruction sequence with pre-resolved
+//!   buffer slots, and every further step replays it with zero graph
+//!   traversal and zero pool lookups (`plan/pool_lookups_steady == 0`).
 //!
 //! The host may be time-shared, so before/after are measured in
 //! *interleaved* rounds — a block of before-steps then a block of
@@ -29,6 +33,7 @@
 //! schema-versioned [`focus_trace::report::RunReport`], including the
 //! steady-state pool counters proving the zero-allocation invariant.
 
+use focus_autograd::plan::PlanCache;
 use focus_autograd::{self as autograd, AdamW, Graph};
 use focus_core::forecaster::normalise_target;
 use focus_core::model::{Focus, FocusConfig};
@@ -65,6 +70,7 @@ struct Harness {
     windows: Vec<focus_data::Window>,
     opt: AdamW,
     graph: Graph,
+    pcache: PlanCache,
     next: usize,
 }
 
@@ -86,6 +92,7 @@ impl Harness {
             windows,
             opt: AdamW::new(1e-3, 1e-4),
             graph: Graph::new(),
+            pcache: PlanCache::new(),
             next: 0,
         }
     }
@@ -107,11 +114,56 @@ impl Harness {
         black_box(g.value(loss).item());
     }
 
+    /// One train step through the plan cache: warmup steps interpret and
+    /// feed the compiler, steady-state steps replay the flat plan — the
+    /// exact control flow of [`Forecaster::train`].
+    fn plan_step(&mut self) {
+        let w = &self.windows[self.next % self.windows.len()];
+        self.next += 1;
+        let (x_norm, stats) = instance_norm(&w.x);
+        let y_norm = normalise_target(&w.y, &stats);
+        let plans_on = self.pcache.active();
+        let routes: Vec<Vec<u32>> =
+            if plans_on { self.model.plan_route_indices(&x_norm) } else { Vec::new() };
+        let route_refs: Vec<&[u32]> = routes.iter().map(|r| r.as_slice()).collect();
+        if let Some(loss) = self.pcache.try_replay_train(
+            &[&x_norm, &y_norm],
+            &route_refs,
+            self.model.params_mut(),
+            &mut self.opt,
+        ) {
+            black_box(loss);
+            return;
+        }
+        let y_obs = plans_on.then(|| y_norm.clone());
+        let g = &mut self.graph;
+        g.reset();
+        let pv = self.model.params().register(g);
+        let pred = self.model.forward_window(g, &pv, &x_norm);
+        let target = g.constant(y_norm);
+        let loss = g.mse(pred, target);
+        g.backward(loss);
+        self.model.params_mut().step(&mut self.opt, g, &pv);
+        black_box(g.value(loss).item());
+        if let Some(y_obs) = y_obs {
+            self.pcache.observe_train(g, loss, &pv, self.model.params(), &[&x_norm, &y_obs], &route_refs);
+        }
+    }
+
     /// Times one block of steps, returning ns per step.
     fn block_ns(&mut self) -> f64 {
         let start = clock::now_ns();
         for _ in 0..BLOCK {
             self.step();
+        }
+        clock::now_ns().saturating_sub(start) as f64 / BLOCK as f64
+    }
+
+    /// Times one block of plan-cached steps, returning ns per step.
+    fn plan_block_ns(&mut self) -> f64 {
+        let start = clock::now_ns();
+        for _ in 0..BLOCK {
+            self.plan_step();
         }
         clock::now_ns().saturating_sub(start) as f64 / BLOCK as f64
     }
@@ -179,7 +231,9 @@ fn main() {
     par::set_threads(1);
 
     // Build one harness per mode, each warmed in its own mode so the pooled
-    // harness starts at steady state.
+    // harness starts at steady state. The plan harness warms through the
+    // cache: two interpreted+observed steps compile and verify the plan,
+    // further steps replay it.
     set_mode(false);
     let mut before_h = Harness::new();
     set_mode(true);
@@ -187,43 +241,80 @@ fn main() {
     for _ in 0..3 {
         after_h.step();
     }
+    let mut plan_h = Harness::new();
+    for _ in 0..4 {
+        plan_h.plan_step();
+    }
+    assert!(
+        plan_h.pcache.is_ready(),
+        "plan cache must verify during warmup (state: {})",
+        plan_h.pcache.state_name()
+    );
     set_mode(false);
     for _ in 0..3 {
         before_h.step();
     }
 
-    // Interleaved rounds: both modes sample every load phase of the host.
+    // Interleaved rounds: all modes sample every load phase of the host.
     let mut before_ns = f64::INFINITY;
     let mut after1_ns = f64::INFINITY;
+    let mut plan1_ns = f64::INFINITY;
     let mut fresh_total = 0u64;
+    let mut plan_fresh = 0u64;
     for _ in 0..ROUNDS {
         set_mode(false);
         before_ns = before_ns.min(before_h.block_ns());
         set_mode(true);
+        pool::set_steady(true);
         let f0 = pool::fresh_allocs();
         after1_ns = after1_ns.min(after_h.block_ns());
         fresh_total += pool::fresh_allocs() - f0;
+        let f1 = pool::fresh_allocs();
+        plan1_ns = plan1_ns.min(plan_h.plan_block_ns());
+        plan_fresh += pool::fresh_allocs() - f1;
+        pool::set_steady(false);
     }
     let steady_steps = ROUNDS * BLOCK;
     assert_eq!(
         fresh_total, 0,
         "steady-state training must not allocate fresh pool buffers ({fresh_total} over {steady_steps} steps)"
     );
+    assert_eq!(
+        plan_fresh, 0,
+        "steady-state plan replay must not allocate fresh pool buffers ({plan_fresh} over {steady_steps} steps)"
+    );
     println!("before (no pool, reference kernels, 1 thread): {}", fmt_ms(before_ns));
     println!(
         "after  (pool + fused, 1 thread): {}  [fresh allocs over {steady_steps} steady steps: {fresh_total}]",
         fmt_ms(after1_ns)
     );
+    println!(
+        "plan   (compiled replay, 1 thread): {}  [fresh allocs over {steady_steps} steady steps: {plan_fresh}]",
+        fmt_ms(plan1_ns)
+    );
     println!("single-thread speedup: {:.2}x", before_ns / after1_ns);
+    let plan_speedup = after1_ns / plan1_ns;
+    println!("plan-over-interpreter speedup (1 thread): {plan_speedup:.2}x");
+    assert!(
+        plan_speedup >= 1.10,
+        "compiled-plan replay must beat the interpreter by >= 1.10x (got {plan_speedup:.3}x)"
+    );
 
     // Thread sweep for the fused mode (the host may expose only one core;
     // the sweep still proves bitwise stability and records the scaling).
+    // Rows where the requested worker count exceeds the host's cores are
+    // labelled oversubscribed: their timings measure scheduler contention,
+    // not kernel scaling, and downstream tooling must not read them as a
+    // parallel-efficiency regression. The plan harness is swept alongside —
+    // a compiled plan is thread-agnostic, so the verified cache is reused.
     set_mode(true);
     let mut after = Vec::new();
     for t in sweep_threads() {
         par::set_threads(t);
+        let oversubscribed = t > cores;
+        let tag = if oversubscribed { "  [oversubscribed]" } else { "" };
         if t == 1 {
-            after.push((t, after1_ns));
+            after.push((t, after1_ns, plan1_ns, oversubscribed));
             continue;
         }
         let mut h = Harness::new();
@@ -231,11 +322,16 @@ fn main() {
             h.step();
         }
         let mut best = f64::INFINITY;
+        let mut plan_best = f64::INFINITY;
+        pool::set_steady(true);
         for _ in 0..ROUNDS / 3 {
             best = best.min(h.block_ns());
+            plan_best = plan_best.min(plan_h.plan_block_ns());
         }
-        after.push((t, best));
-        println!("after  (pool + fused, {t} threads): {}", fmt_ms(best));
+        pool::set_steady(false);
+        after.push((t, best, plan_best, oversubscribed));
+        println!("after  (pool + fused, {t} threads): {}{tag}", fmt_ms(best));
+        println!("plan   (compiled replay, {t} threads): {}{tag}", fmt_ms(plan_best));
     }
 
     // ---- trace contract: bitwise neutrality ------------------------------
@@ -324,8 +420,51 @@ fn main() {
         assert_eq!(sig, sig1, "span structure diverged at {t} threads");
         assert_eq!(ctr, ctr1, "counters diverged at {t} threads");
     }
-    par::set_threads(0);
     println!("span tree + counters identical at 1/2/4 threads ({} counters)", ctr1.len());
+
+    // ---- compiled-plan trace: counters prove the replay contract ---------
+    // A fresh harness driven through the cache with tracing on: the two
+    // interpreted warmup steps record `plan/compile` and the instruction /
+    // slot gauges, the replayed steps record `plan/replay` and the
+    // steady-state pool-lookup gauge, which must be exactly zero — replay
+    // touches only its pre-resolved slots.
+    par::set_threads(1);
+    set_mode(true);
+    focus_trace::set_enabled(true);
+    focus_trace::reset();
+    let mut traced_plan = Harness::new();
+    for _ in 0..2 + TRACE_STEPS {
+        traced_plan.plan_step();
+    }
+    pool::publish_trace_stats();
+    focus_trace::set_enabled(false);
+    let plan_counters = focus_trace::snapshot_counters();
+    let counter = |name: &str| plan_counters.iter().find(|(n, _)| *n == name).map(|&(_, v)| v);
+    let plan_instrs = counter("plan/instrs").expect("plan compile must publish plan/instrs");
+    let plan_slots = counter("plan/slots").expect("plan compile must publish plan/slots");
+    let plan_replays = counter("plan/replays").expect("plan replay must publish plan/replays");
+    let plan_lookups = counter("plan/pool_lookups_steady")
+        .expect("plan replay must publish plan/pool_lookups_steady");
+    assert_eq!(plan_replays as usize, TRACE_STEPS, "every post-warmup step must replay");
+    assert_eq!(
+        plan_lookups, 0,
+        "steady-state plan replay must perform zero pool lookups (got {plan_lookups})"
+    );
+    assert!(plan_instrs > 0 && plan_slots > 0, "plan gauges must be non-trivial");
+    {
+        let spans = focus_trace::snapshot_spans();
+        let flat = focus_trace::flatten_spans(&spans);
+        for want in ["plan/compile", "plan/replay"] {
+            assert!(
+                flat.iter().any(|&(name, calls, _)| name == want && calls > 0),
+                "traced plan phase must record span {want}"
+            );
+        }
+    }
+    println!(
+        "plan: {plan_instrs} instrs over {plan_slots} slots; {plan_replays} traced replays, {plan_lookups} steady pool lookups"
+    );
+    par::set_threads(0);
 
     // ---- schema-versioned run report -------------------------------------
     let mut report = focus_trace::report::RunReport::new("trainstep");
@@ -339,11 +478,19 @@ fn main() {
         .metric("steady_state_steps", steady_steps as f64)
         .metric("steady_state_fresh_allocs", fresh_total as f64)
         .metric("speedup_1_thread", before_ns / after1_ns)
+        .metric("plan_speedup_t1", plan_speedup)
+        .metric("plan_instrs", plan_instrs as f64)
+        .metric("plan_slots", plan_slots as f64)
+        .metric("plan_pool_lookups_steady", plan_lookups as f64)
         .metric("trace_calls_per_step", calls_per_step as f64)
         .metric("disabled_trace_overhead_ns", overhead_ns)
         .metric("disabled_trace_overhead_frac", overhead_frac);
-    for &(t, ns) in &after {
+    for &(t, ns, plan_ns, oversubscribed) in &after {
         report.metric(&format!("after_t{t}_ns"), ns);
+        report.metric(&format!("plan_after_t{t}_ns"), plan_ns);
+        if oversubscribed {
+            report.setting(&format!("oversubscribed_t{t}"), "true");
+        }
     }
     // Fold the pool's steady-state stats into the captured counters.
     focus_trace::set_enabled(true);

@@ -7,6 +7,7 @@
 //! repository are compared under an identical pipeline (same normalisation,
 //! same optimiser, same window sampling).
 
+use focus_autograd::plan::PlanCache;
 use focus_autograd::{AdamW, Graph, ParamStore, ParamVars, Var};
 use focus_data::{Metrics, MtsDataset, Split};
 use focus_nn::revin::{instance_denorm, instance_norm, InstanceStats};
@@ -113,6 +114,18 @@ pub trait Forecaster {
     /// `[N, L]`, producing the normalised forecast `[N, L_f]`.
     fn forward_window(&self, g: &mut Graph, pv: &ParamVars, x_norm: &Tensor) -> Var;
 
+    /// Per-window routing-index sources for plan compilation, in the order
+    /// the model's `forward_window` consumes them.
+    ///
+    /// Models whose tape embeds one-hot routing indices must surface them
+    /// here so the plan compiler can bind them as runtime arguments instead
+    /// of baking them into the plan (where a per-window change would shut
+    /// replay off). The default — no route sources — is correct for models
+    /// without index-routed ops.
+    fn plan_route_indices(&self, _x_norm: &Tensor) -> Vec<Vec<u32>> {
+        Vec::new()
+    }
+
     /// Analytic cost of one forward pass for `entities` series.
     fn cost(&self, entities: usize) -> CostReport;
 
@@ -158,12 +171,32 @@ pub trait Forecaster {
         // One tape for the whole run: `reset` keeps the node/grad capacity,
         // so steady-state steps stop paying per-window tape reallocation.
         let mut g = Graph::new();
+        // After a couple of interpreted warmup steps the cache holds a
+        // verified flat plan; steady-state steps replay it with pre-resolved
+        // buffer slots and never touch the tape. Shape changes reset it.
+        let mut pcache = PlanCache::new();
         for epoch in 0..opts.epochs {
             let mut total = 0.0f64;
             for w in &windows {
                 focus_trace::span!("train/step");
                 let (x_norm, stats) = instance_norm(&w.x);
                 let y_norm = normalise_target(&w.y, &stats);
+                let plans_on = pcache.active();
+                let routes: Vec<Vec<u32>> =
+                    if plans_on { self.plan_route_indices(&x_norm) } else { Vec::new() };
+                let route_refs: Vec<&[u32]> = routes.iter().map(|r| r.as_slice()).collect();
+                if let Some(loss) = pcache.try_replay_train(
+                    &[&x_norm, &y_norm],
+                    &route_refs,
+                    self.params_mut(),
+                    &mut opt,
+                ) {
+                    total += loss as f64;
+                    continue;
+                }
+                // The tape consumes the target tensor; keep a copy only
+                // while the cache still wants to observe tapes.
+                let y_obs = plans_on.then(|| y_norm.clone());
                 g.reset();
                 let pv = self.params().register(&mut g);
                 let pred = self.forward_window(&mut g, &pv, &x_norm);
@@ -172,9 +205,13 @@ pub trait Forecaster {
                     Loss::Mse => g.mse(pred, target),
                     Loss::Mae => g.mae(pred, target),
                 };
+                // focus-lint: allow(graph-interpret) -- warmup/fallback interpretation; steady-state steps replay the compiled plan above
                 g.backward(loss);
                 self.params_mut().step(&mut opt, &g, &pv);
                 total += g.value(loss).item() as f64;
+                if let Some(y_obs) = y_obs {
+                    pcache.observe_train(&g, loss, &pv, self.params(), &[&x_norm, &y_obs], &route_refs);
+                }
             }
             epoch_losses.push(total / windows.len() as f64);
 
@@ -226,9 +263,30 @@ pub trait Forecaster {
         let windows = ds.windows(split, self.lookback(), self.horizon(), stride);
         assert!(!windows.is_empty(), "no evaluation windows in {split:?}");
         let mut m = Metrics::new();
+        // Inference-only plan: after two observed forwards the remaining
+        // windows replay without graph construction. Bitwise-identical to
+        // the interpreted forward, so metrics are unchanged.
+        let mut pcache = PlanCache::new();
+        let mut g = Graph::new();
         for w in &windows {
-            let pred = self.predict(&w.x);
-            m.update(&pred, &w.y);
+            let (x_norm, stats) = instance_norm(&w.x);
+            let plans_on = pcache.active();
+            let routes: Vec<Vec<u32>> =
+                if plans_on { self.plan_route_indices(&x_norm) } else { Vec::new() };
+            let route_refs: Vec<&[u32]> = routes.iter().map(|r| r.as_slice()).collect();
+            let y_norm = match pcache.try_replay_forward(&[&x_norm], &route_refs, self.params()) {
+                Some(out) => out,
+                None => {
+                    g.reset();
+                    let pv = self.params().register(&mut g);
+                    let y = self.forward_window(&mut g, &pv, &x_norm);
+                    if plans_on {
+                        pcache.observe_forward(&g, y, &pv, self.params(), &[&x_norm], &route_refs);
+                    }
+                    g.value(y).clone()
+                }
+            };
+            m.update(&instance_denorm(&y_norm, &stats), &w.y);
         }
         m
     }
@@ -318,6 +376,51 @@ mod tests {
             "MAE training did not improve: {:?}",
             r.epoch_losses
         );
+    }
+
+    #[test]
+    fn planned_training_is_bitwise_equal_to_interpreted() {
+        use crate::model::{Focus, FocusConfig};
+        use focus_data::{Benchmark, MtsDataset};
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(4, 1_200), 7);
+        let mut cfg = FocusConfig::new(48, 12);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 4;
+        cfg.d = 12;
+        cfg.cluster_iters = 4;
+        let opts = TrainOptions {
+            epochs: 2,
+            max_windows: 12,
+            ..Default::default()
+        };
+        let train_with_plans = |on: bool| {
+            focus_autograd::plan::set_enabled(on);
+            let mut model = Focus::fit_offline(&ds, cfg.clone(), 9);
+            let report = model.train(&ds, &opts);
+            focus_autograd::plan::set_enabled(true);
+            (model.params().snapshot(), report.epoch_losses)
+        };
+        let (params_i, losses_i) = train_with_plans(false);
+        let (params_p, losses_p) = train_with_plans(true);
+        for (i, (a, b)) in params_i.iter().zip(&params_p).enumerate() {
+            let ba: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ba, bb, "param {i} diverged between interpreter and plan replay");
+        }
+        assert_eq!(losses_i, losses_p, "epoch losses must match bitwise");
+        // And evaluation through the inference plan matches the
+        // interpreted-forward metrics exactly.
+        focus_autograd::plan::set_enabled(false);
+        let model = {
+            let mut m = Focus::fit_offline(&ds, cfg.clone(), 9);
+            m.train(&ds, &opts);
+            m
+        };
+        let base = model.evaluate(&ds, Split::Test, 24);
+        focus_autograd::plan::set_enabled(true);
+        let planned = model.evaluate(&ds, Split::Test, 24);
+        assert_eq!(base.mse().to_bits(), planned.mse().to_bits());
+        assert_eq!(base.mae().to_bits(), planned.mae().to_bits());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::extractor::DualBranchExtractor;
 use crate::forecaster::Forecaster;
 use crate::fusion::ParallelFusion;
-use crate::protoattn::Assignment;
+use crate::protoattn::{Assignment, RoutingPlan};
 use focus_autograd::{Graph, ParamStore, ParamVars, Var};
 use focus_cluster::{segment_matrix, ClusterConfig, Objective, ProtoUpdate, Prototypes};
 use focus_data::MtsDataset;
@@ -225,6 +225,28 @@ impl Forecaster for Focus {
     fn cost(&self, entities: usize) -> CostReport {
         let l = self.cfg.n_segments();
         self.extractor.cost(entities, l) + self.fusion.cost(entities, l)
+    }
+
+    fn plan_route_indices(&self, x_norm: &Tensor) -> Vec<Vec<u32>> {
+        // Hard assignment records two one-hot route sources on the tape: the
+        // temporal indices and their axes-swapped view for the entity branch
+        // (stacked layers reuse both). Soft assignment bakes a per-window
+        // mixture matrix instead, which the plan cache detects and refuses
+        // to replay — no route sources to surface.
+        let routing = self.extractor.routing(x_norm);
+        match routing {
+            RoutingPlan::Hard { .. } => {
+                let swapped = routing.swap01();
+                match (routing, swapped) {
+                    (
+                        RoutingPlan::Hard { indices: temporal, .. },
+                        RoutingPlan::Hard { indices: entity, .. },
+                    ) => vec![temporal, entity],
+                    _ => unreachable!("swap01 of hard routing stays hard"),
+                }
+            }
+            RoutingPlan::Soft { .. } => Vec::new(),
+        }
     }
 }
 

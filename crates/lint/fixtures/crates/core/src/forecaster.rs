@@ -1,0 +1,25 @@
+//! Seeded `graph-interpret` violations (and negatives that must stay silent).
+
+fn steady_step(g: &mut Graph, loss: Var) {
+    g.backward(loss); // violation: unmarked interpretation in the train loop
+    let tape = g.tape();
+    tape.backward(loss); // violation: any receiver counts, not just `g`
+}
+
+fn negatives(g: &mut Graph, loss: Var, pcache: &mut PlanCache) {
+    backward(loss); // free function, not a graph method call
+    let _plan = g.backward_plan(); // different method name
+    // focus-lint: allow(graph-interpret) -- warmup records the tape for the plan compiler
+    g.backward(loss);
+    let _ = pcache;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut g = Graph::new();
+        let loss = g.zero();
+        g.backward(loss);
+    }
+}

@@ -17,25 +17,30 @@
 //! | `allow-marker`  | suppressions themselves are well-formed and justified      |
 //! | `pool-bypass`   | *(advisory)* float buffers in `tensor`/`autograd` library  |
 //! |                 | code come from `focus_tensor::pool`, not the heap          |
+//! | `graph-interpret`| *(advisory)* the steady-state training loop replays the   |
+//! |                 | compiled plan; `.backward(` interpretation sites there are |
+//! |                 | warmup/fallback only and carry an allow marker saying so   |
 
 use crate::engine::{CodeView, FileCtx, Finding};
 use crate::lexer::{Kind, Token};
 
 /// Every rule the engine knows, in reporting order. `allow-marker` findings
 /// are emitted by the marker parser in [`crate::engine::collect_allows`].
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "determinism",
     "panic-hygiene",
     "float-hygiene",
     "unsafe-forbid",
     "allow-marker",
     "pool-bypass",
+    "graph-interpret",
 ];
 
 /// Advisory rules: their findings are printed but do not fail the CLI — the
-/// zero-allocation invariant is enforced end-to-end by the pool steady-state
-/// regression test, so the lint only points at likely culprits.
-pub const ADVISORY: [&str; 1] = ["pool-bypass"];
+/// zero-allocation and plan-replay invariants are enforced end-to-end by the
+/// pool steady-state and plan-parity regression tests, so the lint only
+/// points at likely culprits.
+pub const ADVISORY: [&str; 2] = ["pool-bypass", "graph-interpret"];
 
 /// Crates whose numeric paths underwrite the bitwise-determinism promise of
 /// PR 1; only these are in scope for the `determinism` rule.
@@ -64,6 +69,9 @@ pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
     }
     if POOL_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_pool_module {
         pool_bypass(ctx, view, findings);
+    }
+    if ctx.is_train_module {
+        graph_interpret(ctx, view, findings);
     }
 }
 
@@ -282,6 +290,34 @@ fn pool_bypass(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
                 "pool-bypass",
                 t.line,
                 "f32 buffer from the heap: use focus_tensor::pool (take/take_zeroed), or allow-mark a cold path".into(),
+                out,
+            );
+        }
+    }
+}
+
+/// `graph-interpret` (advisory): a `.backward(` call — i.e. full graph
+/// interpretation — inside the steady-state training loop
+/// (`crates/core/src/forecaster.rs`). Since PR 6, steady-state steps replay
+/// a compiled plan (`focus_autograd::plan`) with zero graph traversal;
+/// interpretation is only legitimate during warmup (tape recording for the
+/// compiler) and as the fallback when the plan cache is off, and those sites
+/// carry an allow marker saying so. The bitwise plan/interpreter parity is
+/// enforced end-to-end by the plan-parity test suite; this rule just keeps
+/// new interpretation sites from sneaking into the hot loop unremarked.
+fn graph_interpret(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    let c = &view.code;
+    for (j, t) in live(view) {
+        if t.is_ident("backward")
+            && j >= 1
+            && c[j - 1].is_op(".")
+            && c.get(j + 1).is_some_and(|n| n.is_op("("))
+        {
+            emit(
+                ctx,
+                "graph-interpret",
+                t.line,
+                "graph interpretation in the steady-state train loop: replay the compiled plan, or allow-mark a warmup/fallback site".into(),
                 out,
             );
         }

@@ -108,6 +108,26 @@ fn pool_bypass_fixture_catches_every_seeded_violation() {
 }
 
 #[test]
+fn graph_interpret_fixture_catches_every_seeded_violation() {
+    let f = lint_file(&fixture("crates/core/src/forecaster.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("graph-interpret", 4), // unmarked g.backward(loss)
+            ("graph-interpret", 6), // any receiver counts
+        ]
+    );
+}
+
+#[test]
+fn graph_interpret_only_fires_in_the_train_module() {
+    // same seeded calls in any other core file stay silent: the rule polices
+    // the steady-state train loop, not backward passes in general
+    let f = lint_file(&fixture("crates/core/src/clean.rs"));
+    assert!(f.is_empty(), "clean.rs is not the train module: {f:?}");
+}
+
+#[test]
 fn pool_module_is_exempt_from_pool_bypass() {
     let f = lint_file(&fixture("crates/tensor/src/pool.rs"));
     assert!(f.is_empty(), "pool.rs must be allowed to allocate: {f:?}");
@@ -145,7 +165,7 @@ fn clean_fixtures_are_silent() {
 #[test]
 fn engine_run_walks_fixture_tree_deterministically() {
     let (files, findings) = run(&[fixture("crates")]);
-    assert_eq!(files, 12, "all fixture files reached");
+    assert_eq!(files, 13, "all fixture files reached");
     // one positive fixture per rule keeps the suite honest
     for rule in focus_lint::rules::RULES {
         assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");
@@ -175,17 +195,22 @@ fn binary_exit_codes_match_findings() {
         let out = status(fixture(dirty));
         assert_eq!(out.status.code(), Some(1), "{dirty} must fail the lint");
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("6 rules"), "summary line present: {stdout}");
+        assert!(stdout.contains("7 rules"), "summary line present: {stdout}");
     }
     let out = status(fixture("crates/goodcrate"));
     assert_eq!(out.status.code(), Some(0), "clean tree must pass");
 
     // advisory findings print but never fail the run
-    let out = status(fixture("crates/tensor/src/pool_bypass.rs"));
-    assert_eq!(out.status.code(), Some(0), "pool-bypass is advisory, exit stays 0");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("pool-bypass"), "advisory findings still print: {stdout}");
-    assert!(stdout.contains("(advisory)"), "advisory findings are labelled: {stdout}");
+    for (dirty, rule) in [
+        ("crates/tensor/src/pool_bypass.rs", "pool-bypass"),
+        ("crates/core/src/forecaster.rs", "graph-interpret"),
+    ] {
+        let out = status(fixture(dirty));
+        assert_eq!(out.status.code(), Some(0), "{rule} is advisory, exit stays 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "advisory findings still print: {stdout}");
+        assert!(stdout.contains("(advisory)"), "advisory findings are labelled: {stdout}");
+    }
 }
 
 /// The real workspace stays lint-clean: this is the same invariant

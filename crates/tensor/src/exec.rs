@@ -1,0 +1,574 @@
+//! Slice-level execution entry points for compiled autograd plans.
+//!
+//! The plan VM in `focus-autograd` replays a recorded training step against
+//! pre-allocated buffer slots instead of pool-backed [`Tensor`]s. Every
+//! function here writes into a caller-provided `&mut [f32]` and performs
+//! **zero pool traffic**; each one reproduces, operation for operation, the
+//! floating-point sequence of the Tensor-level op it mirrors (same kernels,
+//! same [`crate::par`] grains, same serial loops), so a replayed step is
+//! bitwise-identical to the interpreted step at any thread count.
+//!
+//! The mirrors fall into three groups:
+//!
+//! * **shared cores** — GEMM dispatch, fused LayerNorm/softmax and the
+//!   routing kernels call the *same* internal functions as the Tensor ops
+//!   (`matmul::gemm_dispatch`, `fused::*_into`), so parity is structural;
+//! * **re-expressed loops** — elementwise zips/maps and the small copy /
+//!   transpose ops restate the Tensor op's loop over slices with identical
+//!   split parameters;
+//! * **pre-zeroed accumulators** — ops whose Tensor form starts from
+//!   [`Tensor::zeros`] (`fill(0.0)` here) before accumulating.
+
+use crate::matmul::{self, Kind};
+use crate::ops::{ELEM_GRAIN, EXP_GRAIN};
+use crate::route::ROUTE_GRAIN;
+use crate::{fused, par, raw};
+
+/// Transpose mode of a GEMM, the public face of the dispatcher's kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// `a[m×k] · b[k×n]`.
+    Nn,
+    /// `a[m×k] · (b[n×k])ᵀ`.
+    Nt,
+    /// `(a[k×m])ᵀ · b[k×n]`.
+    Tn,
+}
+
+impl Trans {
+    fn kind(self) -> Kind {
+        match self {
+            Trans::Nn => Kind::Nn,
+            Trans::Nt => Kind::Nt,
+            Trans::Tn => Kind::Tn,
+        }
+    }
+}
+
+/// Elementwise binary op into `dst`: the slice mirror of
+/// [`Tensor::zip_with`] (same [`par::parallel_fill`] split).
+fn zip(a: &[f32], b: &[f32], dst: &mut [f32], op: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert!(a.len() == dst.len() && b.len() == dst.len());
+    par::parallel_fill(dst, ELEM_GRAIN, |range, chunk| {
+        let av = &a[range.clone()];
+        let bv = &b[range];
+        for ((o, &x), &y) in chunk.iter_mut().zip(av).zip(bv) {
+            *o = op(x, y);
+        }
+    });
+}
+
+/// Elementwise map into `dst`: the slice mirror of [`Tensor::map`].
+fn map(src: &[f32], dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(src.len(), dst.len());
+    par::parallel_fill(dst, ELEM_GRAIN, |range, chunk| {
+        for (o, &v) in chunk.iter_mut().zip(&src[range]) {
+            *o = f(v);
+        }
+    });
+}
+
+/// `dst = a + b` (mirror of [`Tensor::add`]).
+pub fn zip_add(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    zip(a, b, dst, |x, y| x + y);
+}
+
+/// `dst = a - b` (mirror of [`Tensor::sub`]).
+pub fn zip_sub(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    zip(a, b, dst, |x, y| x - y);
+}
+
+/// `dst = a ⊙ b` (mirror of [`Tensor::mul`]).
+pub fn zip_mul(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    zip(a, b, dst, |x, y| x * y);
+}
+
+/// ReLU backward: `dst = g where x > 0 else 0` (mirror of the autograd
+/// activation rule's `zip_with`).
+pub fn zip_relu_bwd(x: &[f32], g: &[f32], dst: &mut [f32]) {
+    zip(x, g, dst, |v, gv| if v > 0.0 { gv } else { 0.0 });
+}
+
+/// GELU backward over the forward *input*.
+pub fn zip_gelu_bwd(x: &[f32], g: &[f32], dst: &mut [f32]) {
+    zip(x, g, dst, |v, gv| gv * fused::gelu_bwd(v));
+}
+
+/// |x| backward over the forward *input*.
+pub fn zip_abs_bwd(x: &[f32], g: &[f32], dst: &mut [f32]) {
+    zip(x, g, dst, |v, gv| {
+        if v > 0.0 {
+            gv
+        } else if v < 0.0 {
+            -gv
+        } else {
+            0.0
+        }
+    });
+}
+
+/// Sigmoid backward over the forward *output* `y`: `dst = g · y · (1 − y)`.
+pub fn zip_sigmoid_bwd(y: &[f32], g: &[f32], dst: &mut [f32]) {
+    zip(y, g, dst, |v, gv| gv * v * (1.0 - v));
+}
+
+/// Tanh backward over the forward *output* `y`: `dst = g · (1 − y²)`.
+pub fn zip_tanh_bwd(y: &[f32], g: &[f32], dst: &mut [f32]) {
+    zip(y, g, dst, |v, gv| gv * (1.0 - v * v));
+}
+
+/// `dst = src · alpha` (mirror of [`Tensor::scale`]).
+pub fn map_scale(src: &[f32], alpha: f32, dst: &mut [f32]) {
+    map(src, dst, |v| v * alpha);
+}
+
+/// `dst = src + alpha` (mirror of [`Tensor::add_scalar`]).
+pub fn map_add_scalar(src: &[f32], alpha: f32, dst: &mut [f32]) {
+    map(src, dst, |v| v + alpha);
+}
+
+/// ReLU forward (mirror of the autograd `relu` map).
+pub fn map_relu(src: &[f32], dst: &mut [f32]) {
+    map(src, dst, |v| v.max(0.0));
+}
+
+/// GELU forward (tanh approximation, shared scalar).
+pub fn map_gelu(src: &[f32], dst: &mut [f32]) {
+    map(src, dst, fused::gelu_fwd);
+}
+
+/// Sigmoid forward (mirror of the autograd `sigmoid` map).
+pub fn map_sigmoid(src: &[f32], dst: &mut [f32]) {
+    map(src, dst, |v| 1.0 / (1.0 + (-v).exp()));
+}
+
+/// Tanh forward.
+pub fn map_tanh(src: &[f32], dst: &mut [f32]) {
+    map(src, dst, f32::tanh);
+}
+
+/// |x| forward.
+pub fn map_abs(src: &[f32], dst: &mut [f32]) {
+    map(src, dst, f32::abs);
+}
+
+/// `dst += alpha · src` over the flat element order (mirror of
+/// [`Tensor::axpy_flat`], the gradient accumulator).
+pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    par::parallel_rows(dst, 1, ELEM_GRAIN, 1, |start, block| {
+        let n = block.len();
+        for (a, &b) in block.iter_mut().zip(&src[start..start + n]) {
+            *a += alpha * b;
+        }
+    });
+}
+
+/// `dst = value` everywhere (mirror of [`Tensor::full`]'s serial fill).
+pub fn fill(dst: &mut [f32], value: f32) {
+    dst.fill(value);
+}
+
+/// `dst = src` (mirror of [`Tensor::clone`]'s buffer copy).
+pub fn copy(src: &[f32], dst: &mut [f32]) {
+    dst.copy_from_slice(src);
+}
+
+/// Row-broadcast add: `dst = x` then `dst[r, :] += row` for every length-`n`
+/// row (mirror of [`Tensor::add_row_broadcast`]: clone + in-place sweep).
+pub fn add_row_broadcast(x: &[f32], row: &[f32], n: usize, dst: &mut [f32]) {
+    debug_assert_eq!(row.len(), n);
+    dst.copy_from_slice(x);
+    let grain_rows = ELEM_GRAIN.div_ceil(n).max(1);
+    par::parallel_rows(dst, n, grain_rows, 1, |_, block| {
+        for chunk in block.chunks_mut(n) {
+            for (o, &b) in chunk.iter_mut().zip(row) {
+                *o += b;
+            }
+        }
+    });
+}
+
+/// Bias gradient of the row broadcast: `dst[j] = Σ_r g[r, j]`, columns in
+/// parallel, each column summed in ascending row order (the autograd
+/// `AddRowBroadcast` backward's exact chain).
+pub fn bias_grad(g: &[f32], rows: usize, n: usize, dst: &mut [f32]) {
+    debug_assert_eq!(g.len(), rows * n);
+    debug_assert_eq!(dst.len(), n);
+    let col_grain = (ELEM_GRAIN / rows.max(1)).max(1);
+    par::parallel_rows(dst, 1, col_grain, 1, |col0, cols| {
+        cols.fill(0.0);
+        let w = cols.len();
+        for r in 0..rows {
+            let base = r * n + col0;
+            for (o, &v) in cols.iter_mut().zip(&g[base..base + w]) {
+                *o += v;
+            }
+        }
+    });
+}
+
+/// Row softmax over trailing axis `n` (mirror of [`Tensor::softmax_last`]:
+/// clone + in-place [`fused::softmax_row`] sweep).
+pub fn softmax_last(src: &[f32], n: usize, dst: &mut [f32]) {
+    dst.copy_from_slice(src);
+    let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
+    par::parallel_rows(dst, n, grain_rows, 1, |_, block| {
+        for chunk in block.chunks_mut(n) {
+            fused::softmax_row(chunk);
+        }
+    });
+}
+
+/// Softmax backward (shared fused core).
+pub fn softmax_last_bwd(y: &[f32], g: &[f32], n: usize, dst: &mut [f32]) {
+    fused::softmax_last_bwd_into(y, g, n, dst);
+}
+
+/// LayerNorm forward (shared fused core): writes the normalised rows and the
+/// `[rows, 2]` interleaved `(mean, rstd)` cache.
+pub fn layer_norm_fwd(
+    x: &[f32],
+    n: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    cache: &mut [f32],
+) {
+    fused::layer_norm_fwd_into(x, n, gamma, beta, eps, out, cache);
+}
+
+/// LayerNorm backward (shared fused core).
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_bwd(
+    x: &[f32],
+    n: usize,
+    gamma: &[f32],
+    cache: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    fused::layer_norm_bwd_into(x, n, gamma, cache, g, dx, dgamma, dbeta);
+}
+
+/// Rank-2 transpose (mirror of [`Tensor::transpose`]'s serial loop).
+pub fn transpose2(src: &[f32], m: usize, n: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            dst[j * m + i] = src[i * n + j];
+        }
+    }
+}
+
+/// Swap of the last two axes of `[b, m, n]` (mirror of
+/// [`Tensor::transpose_last2`]).
+pub fn transpose_last2(src: &[f32], b: usize, m: usize, n: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), b * m * n);
+    for bi in 0..b {
+        let base = bi * m * n;
+        for i in 0..m {
+            for j in 0..n {
+                dst[base + j * m + i] = src[base + i * n + j];
+            }
+        }
+    }
+}
+
+/// Swap of the first two axes of `[a, b, c]`: `dst[j, i, :] = src[i, j, :]`
+/// (mirror of the autograd `swap_axes01` helper's row copies).
+pub fn swap01(src: &[f32], a: usize, b: usize, c: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), a * b * c);
+    for i in 0..a {
+        for j in 0..b {
+            let s = (i * b + j) * c;
+            let d = (j * a + i) * c;
+            dst[d..d + c].copy_from_slice(&src[s..s + c]);
+        }
+    }
+}
+
+/// Trailing-axis concatenation (mirror of [`Tensor::concat_last`]).
+pub fn concat_last(a: &[f32], b: &[f32], na: usize, nb: usize, rows: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), rows * (na + nb));
+    for i in 0..rows {
+        let base = i * (na + nb);
+        dst[base..base + na].copy_from_slice(&a[i * na..(i + 1) * na]);
+        dst[base + na..base + na + nb].copy_from_slice(&b[i * nb..(i + 1) * nb]);
+    }
+}
+
+/// Column-range copy `dst[r, :] = src[r, from..to]` for rows of width `n`:
+/// covers `split_last` halves and the `slice_last` forward (byte-identical
+/// to the interpreter's staged copies).
+pub fn slice_cols(src: &[f32], n: usize, from: usize, to: usize, rows: usize, dst: &mut [f32]) {
+    let w = to - from;
+    debug_assert_eq!(dst.len(), rows * w);
+    for i in 0..rows {
+        let row = &src[i * n..i * n + n];
+        dst[i * w..(i + 1) * w].copy_from_slice(&row[from..to]);
+    }
+}
+
+/// `slice_last` backward: zero `dst` (rows of width `n`) and copy each
+/// gradient row into columns `[start, start + w)`.
+pub fn scatter_cols(g: &[f32], n: usize, start: usize, w: usize, rows: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), rows * n);
+    debug_assert_eq!(g.len(), rows * w);
+    dst.fill(0.0);
+    for i in 0..rows {
+        dst[i * n + start..i * n + start + w].copy_from_slice(&g[i * w..(i + 1) * w]);
+    }
+}
+
+/// One-hot routing forward into `dst` (mirror of
+/// [`crate::route::route_gather`]'s gather sweep; every output row is
+/// overwritten).
+pub fn route_gather(head: &[f32], indices: &[u32], b: usize, k: usize, d: usize, l: usize, dst: &mut [f32]) {
+    debug_assert_eq!(head.len(), b * k * d);
+    debug_assert_eq!(indices.len(), b * l);
+    debug_assert_eq!(dst.len(), b * l * d);
+    let grain_rows = ROUTE_GRAIN.div_ceil(d.max(1)).max(1);
+    par::parallel_rows(dst, d, grain_rows, 1, |row0, chunk| {
+        for (off, out) in chunk.chunks_exact_mut(d).enumerate() {
+            let row = row0 + off;
+            let bi = row / l;
+            let j = indices[row] as usize;
+            let src = (bi * k + j) * d;
+            out.copy_from_slice(&head[src..src + d]);
+        }
+    });
+}
+
+/// One-hot routing backward into `dst` (mirror of
+/// [`crate::route::route_scatter_add`]: zeroed, then per-batch ascending
+/// scatter-add).
+pub fn route_scatter_add(
+    dout: &[f32],
+    indices: &[u32],
+    b: usize,
+    l: usize,
+    d: usize,
+    k: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dout.len(), b * l * d);
+    debug_assert_eq!(indices.len(), b * l);
+    debug_assert_eq!(dst.len(), b * k * d);
+    dst.fill(0.0);
+    let grain_batches = ROUTE_GRAIN.div_ceil((l * d).max(1)).max(1);
+    par::parallel_rows(dst, k * d, grain_batches, 1, |b0, chunk| {
+        for (off, out) in chunk.chunks_exact_mut(k * d).enumerate() {
+            let bi = b0 + off;
+            for i in 0..l {
+                let j = indices[bi * l + i] as usize;
+                let src = (bi * l + i) * d;
+                let acc = &mut out[j * d..(j + 1) * d];
+                for (o, &v) in acc.iter_mut().zip(&dout[src..src + d]) {
+                    *o += v;
+                }
+            }
+        }
+    });
+}
+
+/// One GEMM into a zeroed `dst` through the shared dispatcher — the exact
+/// path of [`Tensor::matmul`] / `matmul_nt` / `matmul_tn`.
+pub fn gemm(trans: Trans, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), m * n);
+    dst.fill(0.0);
+    matmul::gemm_dispatch(trans.kind(), m, k, n, a, b, dst);
+}
+
+/// One batched GEMM into a zeroed `dst` through the shared dispatcher — the
+/// exact path of [`Tensor::bmm`] / `bmm_nt` / `bmm_tn`.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm(
+    trans: Trans,
+    bt: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), bt * m * n);
+    dst.fill(0.0);
+    matmul::bmm_dispatch(trans.kind(), bt, m, k, n, a, b, dst);
+}
+
+/// Broadcast-left `a · bᵀ` sweep into a zeroed `dst` (the exact path of the
+/// autograd `matmul_broadcast_nt` forward).
+pub fn bcast_nt(bt: usize, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), bt * m * n);
+    dst.fill(0.0);
+    raw::gemm_nt_bcast(bt, m, k, n, a, b, dst);
+}
+
+/// Broadcast-NT backward for the shared LHS: `da = Σ_b g[b]·x[b]` with `da`
+/// zeroed and each per-batch product landing in the zeroed `tmp` scratch
+/// before an axpy merge — the autograd rule's exact accumulation chain.
+#[allow(clippy::too_many_arguments)]
+pub fn bcast_nt_da(
+    g: &[f32],
+    x: &[f32],
+    bsz: usize,
+    k: usize,
+    l: usize,
+    d: usize,
+    da: &mut [f32],
+    tmp: &mut [f32],
+) {
+    debug_assert_eq!(da.len(), k * d);
+    debug_assert_eq!(tmp.len(), k * d);
+    da.fill(0.0);
+    for b in 0..bsz {
+        tmp.fill(0.0);
+        raw::gemm(k, l, d, &g[b * k * l..(b + 1) * k * l], &x[b * l * d..(b + 1) * l * d], tmp);
+        axpy(da, 1.0, tmp);
+    }
+}
+
+/// Broadcast-NT backward for the batched RHS: `dx[b] = g[b]ᵀ·a` written into
+/// zeroed per-batch slices (the autograd rule's exact `gemm_tn` chain).
+pub fn bcast_nt_dx(g: &[f32], a: &[f32], bsz: usize, k: usize, l: usize, d: usize, dx: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * d);
+    debug_assert_eq!(dx.len(), bsz * l * d);
+    dx.fill(0.0);
+    for b in 0..bsz {
+        raw::gemm_tn(
+            l,
+            k,
+            d,
+            &g[b * k * l..(b + 1) * k * l],
+            a,
+            &mut dx[b * l * d..(b + 1) * l * d],
+        );
+    }
+}
+
+/// Sum over the flat elements with an f64 accumulator (mirror of
+/// [`Tensor::sum_all`]).
+pub fn sum_all(src: &[f32]) -> f32 {
+    src.iter().map(|&v| v as f64).sum::<f64>() as f32
+}
+
+/// Mean over the flat elements (mirror of [`Tensor::mean_all`]).
+pub fn mean_all(src: &[f32]) -> f32 {
+    sum_all(src) / src.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rt(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(dims, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn zips_and_maps_match_tensor_ops_bitwise() {
+        let a = rt(&[7, 13], 1);
+        let b = rt(&[7, 13], 2);
+        let mut out = vec![0.0f32; 91];
+        zip_add(a.data(), b.data(), &mut out);
+        assert_eq!(out, a.add(&b).data());
+        zip_mul(a.data(), b.data(), &mut out);
+        assert_eq!(out, a.mul(&b).data());
+        map_scale(a.data(), -1.7, &mut out);
+        assert_eq!(out, a.scale(-1.7).data());
+        map_sigmoid(a.data(), &mut out);
+        assert_eq!(out, a.map(|v| 1.0 / (1.0 + (-v).exp())).data());
+    }
+
+    #[test]
+    fn gemm_matches_tensor_matmul_bitwise() {
+        let a = rt(&[9, 17], 3);
+        let b = rt(&[17, 11], 4);
+        let mut out = vec![1.0f32; 9 * 11]; // stale contents must not leak
+        gemm(Trans::Nn, 9, 17, 11, a.data(), b.data(), &mut out);
+        assert_eq!(out, a.matmul(&b).data());
+        let bt = rt(&[11, 17], 5);
+        gemm(Trans::Nt, 9, 17, 11, a.data(), bt.data(), &mut out);
+        assert_eq!(out, a.matmul_nt(&bt).data());
+    }
+
+    #[test]
+    fn softmax_and_layer_norm_match_tensor_paths_bitwise() {
+        let x = rt(&[12, 16], 6);
+        let mut out = vec![0.0f32; 12 * 16];
+        softmax_last(x.data(), 16, &mut out);
+        assert_eq!(out, x.softmax_last().data());
+
+        let gamma = rt(&[16], 7);
+        let beta = rt(&[16], 8);
+        let mut y = vec![0.0f32; 12 * 16];
+        let mut cache = vec![0.0f32; 24];
+        layer_norm_fwd(x.data(), 16, gamma.data(), beta.data(), 1e-5, &mut y, &mut cache);
+        let (ty, tcache) = fused::layer_norm_fwd(&x, gamma.data(), beta.data(), 1e-5);
+        assert_eq!(y, ty.data());
+        assert_eq!(cache, tcache.data());
+    }
+
+    #[test]
+    fn add_row_broadcast_and_bias_grad_round_trip() {
+        let x = rt(&[31, 8], 9);
+        let row = rt(&[8], 10);
+        let mut out = vec![0.0f32; 31 * 8];
+        add_row_broadcast(x.data(), row.data(), 8, &mut out);
+        assert_eq!(out, x.add_row_broadcast(&row).data());
+
+        let mut db = vec![0.0f32; 8];
+        bias_grad(x.data(), 31, 8, &mut db);
+        let mut serial = vec![0.0f32; 8];
+        for r in 0..31 {
+            for (j, s) in serial.iter_mut().enumerate() {
+                *s += x.data()[r * 8 + j];
+            }
+        }
+        assert_eq!(db, serial);
+    }
+
+    #[test]
+    fn slice_scatter_and_concat_mirror_tensor_ops() {
+        let a = rt(&[5, 6], 11);
+        let b = rt(&[5, 3], 12);
+        let mut cat = vec![0.0f32; 5 * 9];
+        concat_last(a.data(), b.data(), 6, 3, 5, &mut cat);
+        assert_eq!(cat, a.concat_last(&b).data());
+
+        let mut left = vec![0.0f32; 5 * 6];
+        slice_cols(&cat, 9, 0, 6, 5, &mut left);
+        assert_eq!(left, a.data());
+
+        let mut sc = vec![1.0f32; 5 * 9];
+        scatter_cols(b.data(), 9, 6, 3, 5, &mut sc);
+        for i in 0..5 {
+            assert_eq!(&sc[i * 9..i * 9 + 6], &[0.0; 6]);
+            assert_eq!(&sc[i * 9 + 6..i * 9 + 9], &b.data()[i * 3..(i + 1) * 3]);
+        }
+    }
+
+    #[test]
+    fn route_mirrors_match_tensor_kernels_bitwise() {
+        use crate::route;
+        let head = rt(&[3, 5, 4], 13);
+        let indices: Vec<u32> = (0..3 * 7).map(|i| (i % 5) as u32).collect();
+        let mut out = vec![0.0f32; 3 * 7 * 4];
+        route_gather(head.data(), &indices, 3, 5, 4, 7, &mut out);
+        assert_eq!(out, route::route_gather(&head, &indices, 7).data());
+
+        let dout = rt(&[3, 7, 4], 14);
+        let mut dh = vec![1.0f32; 3 * 5 * 4];
+        route_scatter_add(dout.data(), &indices, 3, 7, 4, 5, &mut dh);
+        assert_eq!(dh, route::route_scatter_add(&dout, &indices, 5).data());
+    }
+}

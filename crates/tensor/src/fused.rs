@@ -74,19 +74,26 @@ pub fn softmax_last_bwd(y: &Tensor, g: &Tensor) -> Tensor {
     );
     let n = y.shape().last_dim();
     let mut dx = Tensor::uninit(y.dims());
+    softmax_last_bwd_into(y.data(), g.data(), n, dx.data_mut());
+    dx
+}
+
+/// Slice core of [`softmax_last_bwd`]: `dx` holds `rows · n` elements and is
+/// fully overwritten. Shared with the compiled-plan VM so replay reproduces
+/// the interpreter bit for bit.
+pub(crate) fn softmax_last_bwd_into(y: &[f32], g: &[f32], n: usize, dx: &mut [f32]) {
     let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
-    par::parallel_rows(dx.data_mut(), n, grain_rows, 1, |row0, block| {
+    par::parallel_rows(dx, n, grain_rows, 1, |row0, block| {
         for (r, out) in block.chunks_mut(n).enumerate() {
             let at = (row0 + r) * n;
-            let yr = &y.data()[at..at + n];
-            let gr = &g.data()[at..at + n];
+            let yr = &y[at..at + n];
+            let gr = &g[at..at + n];
             let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
             for (o, (yv, gv)) in out.iter_mut().zip(yr.iter().zip(gr)) {
                 *o = yv * (gv - dot);
             }
         }
     });
-    dx
 }
 
 /// Fused LayerNorm forward over the trailing axis.
@@ -102,11 +109,27 @@ pub fn layer_norm_fwd(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Ten
     let rows = x.shape().leading();
     let mut out = Tensor::uninit(x.dims());
     let mut cache = Tensor::uninit(&[rows, 2]);
+    layer_norm_fwd_into(x.data(), n, gamma, beta, eps, out.data_mut(), cache.data_mut());
+    (out, cache)
+}
+
+/// Slice core of [`layer_norm_fwd`]: `out` holds `rows · n` elements,
+/// `cache` holds `rows · 2` interleaved `(mean, rstd)` pairs; both are fully
+/// overwritten. Shared with the compiled-plan VM.
+pub(crate) fn layer_norm_fwd_into(
+    x: &[f32],
+    n: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    cache: &mut [f32],
+) {
     let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
     par::parallel_rows2(
-        out.data_mut(),
+        out,
         n,
-        cache.data_mut(),
+        cache,
         2,
         grain_rows,
         |row0, block, cblock| {
@@ -120,10 +143,10 @@ pub fn layer_norm_fwd(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Ten
             let mut r = 0;
             while r + 4 <= rows_here {
                 let base = (row0 + r) * n;
-                let x0 = &x.data()[base..base + n];
-                let x1 = &x.data()[base + n..base + 2 * n];
-                let x2 = &x.data()[base + 2 * n..base + 3 * n];
-                let x3 = &x.data()[base + 3 * n..base + 4 * n];
+                let x0 = &x[base..base + n];
+                let x1 = &x[base + n..base + 2 * n];
+                let x2 = &x[base + 2 * n..base + 3 * n];
+                let x3 = &x[base + 3 * n..base + 4 * n];
                 let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
                 for j in 0..n {
                     s0 += x0[j];
@@ -152,7 +175,7 @@ pub fn layer_norm_fwd(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Ten
                 r += 4;
             }
             for r in r..rows_here {
-                let xr = &x.data()[(row0 + r) * n..(row0 + r + 1) * n];
+                let xr = &x[(row0 + r) * n..(row0 + r + 1) * n];
                 let mean = xr.iter().sum::<f32>() / n as f32;
                 let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
                 let rstd = 1.0 / (var + eps).sqrt();
@@ -165,7 +188,6 @@ pub fn layer_norm_fwd(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> (Ten
             }
         },
     );
-    (out, cache)
 }
 
 /// Fused LayerNorm backward.
@@ -183,11 +205,39 @@ pub fn layer_norm_bwd(
     let n = x.shape().last_dim();
     let rows = x.shape().leading();
     assert_eq!(cache.numel(), 2 * rows, "layer_norm cache holds (mean, rstd) per row");
-    let cd = cache.data();
-
     let mut dx = Tensor::uninit(x.dims());
+    let mut dgamma = Tensor::uninit(&[n]);
+    let mut dbeta = Tensor::uninit(&[n]);
+    layer_norm_bwd_into(
+        x.data(),
+        n,
+        gamma,
+        cache.data(),
+        g.data(),
+        dx.data_mut(),
+        dgamma.data_mut(),
+        dbeta.data_mut(),
+    );
+    (dx, dgamma, dbeta)
+}
+
+/// Slice core of [`layer_norm_bwd`]: `dx` holds `rows · n` elements,
+/// `dgamma`/`dbeta` hold `n` each; all three are fully overwritten. Shared
+/// with the compiled-plan VM.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn layer_norm_bwd_into(
+    x: &[f32],
+    n: usize,
+    gamma: &[f32],
+    cd: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let rows = dx.len() / n;
     let grain_rows = EXP_GRAIN.div_ceil(n).max(1);
-    par::parallel_rows(dx.data_mut(), n, grain_rows, 1, |row0, block| {
+    par::parallel_rows(dx, n, grain_rows, 1, |row0, block| {
         let inv_n = 1.0 / n as f32;
         // Like the forward: the two per-row reduction chains are serial by
         // contract, so four independent rows run in flight to hide FP-add
@@ -197,14 +247,14 @@ pub fn layer_norm_bwd(
         let mut r = 0;
         while r + 4 <= rows_here {
             let at = (row0 + r) * n;
-            let x0 = &x.data()[at..at + n];
-            let x1 = &x.data()[at + n..at + 2 * n];
-            let x2 = &x.data()[at + 2 * n..at + 3 * n];
-            let x3 = &x.data()[at + 3 * n..at + 4 * n];
-            let g0 = &g.data()[at..at + n];
-            let g1 = &g.data()[at + n..at + 2 * n];
-            let g2 = &g.data()[at + 2 * n..at + 3 * n];
-            let g3 = &g.data()[at + 3 * n..at + 4 * n];
+            let x0 = &x[at..at + n];
+            let x1 = &x[at + n..at + 2 * n];
+            let x2 = &x[at + 2 * n..at + 3 * n];
+            let x3 = &x[at + 3 * n..at + 4 * n];
+            let g0 = &g[at..at + n];
+            let g1 = &g[at + n..at + 2 * n];
+            let g2 = &g[at + 2 * n..at + 3 * n];
+            let g3 = &g[at + 3 * n..at + 4 * n];
             let mu = [
                 cd[2 * (row0 + r)],
                 cd[2 * (row0 + r + 1)],
@@ -249,8 +299,8 @@ pub fn layer_norm_bwd(
         }
         for r in r..rows_here {
             let at = (row0 + r) * n;
-            let xr = &x.data()[at..at + n];
-            let gr = &g.data()[at..at + n];
+            let xr = &x[at..at + n];
+            let gr = &g[at..at + n];
             let (mu, rstd) = (cd[2 * (row0 + r)], cd[2 * (row0 + r) + 1]);
             let mut sum_dy = 0.0f32;
             let mut sum_dy_xhat = 0.0f32;
@@ -269,13 +319,11 @@ pub fn layer_norm_bwd(
         }
     });
 
-    let mut dgamma = Tensor::uninit(&[n]);
-    let mut dbeta = Tensor::uninit(&[n]);
     let col_grain = ELEM_GRAIN.div_ceil(rows.max(1)).max(1);
     par::parallel_rows2(
-        dgamma.data_mut(),
+        dgamma,
         1,
-        dbeta.data_mut(),
+        dbeta,
         1,
         col_grain,
         |col0, gchunk, bchunk| {
@@ -289,8 +337,8 @@ pub fn layer_norm_bwd(
             for r in 0..rows {
                 let base = r * n + col0;
                 let (mu, rstd) = (cd[2 * r], cd[2 * r + 1]);
-                let gr = &g.data()[base..base + w];
-                let xr = &x.data()[base..base + w];
+                let gr = &g[base..base + w];
+                let xr = &x[base..base + w];
                 for ((dg, db), (&gv, &xv)) in
                     gchunk.iter_mut().zip(bchunk.iter_mut()).zip(gr.iter().zip(xr))
                 {
@@ -301,7 +349,6 @@ pub fn layer_norm_bwd(
             }
         },
     );
-    (dx, dgamma, dbeta)
 }
 
 /// GELU forward, tanh approximation (shared scalar).

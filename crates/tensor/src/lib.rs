@@ -40,6 +40,7 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub mod exec;
 pub mod fused;
 pub mod par;
 pub mod pool;

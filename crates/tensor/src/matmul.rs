@@ -23,7 +23,7 @@
 //! property tests compare against.
 
 use crate::par;
-use crate::{fused, pool, Tensor};
+use crate::{fused, Tensor};
 
 /// Register tile width (output columns per micro-tile).
 const NR: usize = 16;
@@ -515,7 +515,7 @@ pub mod raw {
 /// blocked kernel would push every column through its scalar-dot remainder —
 /// a `k`-axis reduction the compiler must not vectorise (reassociation would
 /// change bits). Instead the panel of `bᵀ` is packed zero-padded to the full
-/// `NR` width and the regular [`micro_tile`] runs against a pooled `NR`-wide
+/// `NR` width and the regular [`micro_tile`] runs against an `NR`-wide
 /// staging buffer, so the kernel keeps `MR` rows of accumulators in flight
 /// exactly like the dense path (the padded lanes compute and discard zeros).
 /// Each real output element still accumulates `a[i,kk] * b[j,kk]` in
@@ -527,14 +527,21 @@ fn gemm_nt_small(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
         let mr_rows = c_block.len() / n;
         let mut panel = [0.0f32; KC * NR];
         // Tiny row blocks (every per-batch attention product) stage on the
-        // stack; only large blocks pay the pool round-trip.
+        // stack; large blocks use a per-thread scratch buffer that persists
+        // across calls, so steady-state GEMMs touch neither the allocator
+        // nor the tensor pool (compiled-plan replay asserts zero pool
+        // lookups per step).
         let mut stack_stage = [0.0f32; SMALL_STAGE];
         if mr_rows * NR <= stack_stage.len() {
             gemm_nt_small_rows(i0, k, n, a, b, c_block, &mut panel, &mut stack_stage);
         } else {
-            let mut stage = pool::take(mr_rows * NR);
-            gemm_nt_small_rows(i0, k, n, a, b, c_block, &mut panel, &mut stage);
-            pool::give(stage);
+            NT_STAGE.with(|cell| {
+                let mut stage = cell.borrow_mut();
+                if stage.len() < mr_rows * NR {
+                    stage.resize(mr_rows * NR, 0.0);
+                }
+                gemm_nt_small_rows(i0, k, n, a, b, c_block, &mut panel, &mut stage);
+            });
         }
     };
     if m * k * n < PAR_MIN_MACS {
@@ -547,7 +554,15 @@ fn gemm_nt_small(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 
 /// Staging capacity (in floats) that [`gemm_nt_small`] keeps on the stack and
 /// batched sweeps preallocate: covers row blocks up to `4 · MR` rows.
-const SMALL_STAGE: usize = 4 * MR * NR;
+pub(crate) const SMALL_STAGE: usize = 4 * MR * NR;
+
+std::thread_local! {
+    /// Per-thread staging scratch for [`gemm_nt_small`] row blocks larger
+    /// than [`SMALL_STAGE`]: grows to the high-water mark once and is then
+    /// reused, keeping steady-state GEMMs allocation- and pool-free. The
+    /// contents are fully overwritten before any read.
+    static NT_STAGE: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// Serial core of [`gemm_nt_small`] over the row block starting at `i0`,
 /// staging into caller-provided scratch (`panel` of `KC · NR` floats, `stage`
@@ -596,7 +611,7 @@ fn gemm_nt_small_rows(
 
 /// Which optimised block kernel to run per output row block.
 #[derive(Clone, Copy)]
-enum Kind {
+pub(crate) enum Kind {
     /// `a[m×k] · b[k×n]`.
     Nn,
     /// `a[m×k] · (b[n×k])ᵀ`.
@@ -644,7 +659,15 @@ fn trace_gemm(prefix: &str, kind: Kind, macs: usize) {
 
 /// Dispatches one raw GEMM: reference for small shapes, tiled for medium,
 /// tiled + row-parallel for large. Bitwise-identical across all three paths.
-fn gemm_dispatch(kind: Kind, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub(crate) fn gemm_dispatch(
+    kind: Kind,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     let macs = m * k * n;
     trace_gemm("gemm", kind, macs);
     // Narrow-output and sub-tile `a·bᵀ` products otherwise run entirely as
@@ -682,7 +705,7 @@ fn gemm_dispatch(kind: Kind, m: usize, k: usize, n: usize, a: &[f32], b: &[f32],
 /// Many small batches parallelise across the batch axis; few large batches
 /// parallelise inside each GEMM instead.
 #[allow(clippy::too_many_arguments)]
-fn bmm_dispatch(
+pub(crate) fn bmm_dispatch(
     kind: Kind,
     bt: usize,
     m: usize,

@@ -22,7 +22,7 @@ use crate::Tensor;
 
 /// Minimum copied/accumulated elements per thread before the routing kernels
 /// go parallel.
-const ROUTE_GRAIN: usize = 64 * 1024;
+pub(crate) const ROUTE_GRAIN: usize = 64 * 1024;
 
 /// Validates a routing index vector against the prototype count `k`.
 fn check_indices(indices: &[u32], k: usize) {

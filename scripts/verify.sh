@@ -48,4 +48,16 @@ echo "==> trace report self-check (BENCH_trainstep.json)"
 grep -q '"schema": "focus-trace-report v1"' BENCH_trainstep.json
 grep -q '"spans"' BENCH_trainstep.json
 
+# Compiled-plan self-check: the bench's plan arm must have recorded the plan
+# counters (instruction/slot counts, steady-state pool lookups pinned at
+# zero) and the plan-over-interpreter speedup metric. The bench itself
+# asserts speedup >= 1.10x and bitwise parity with the interpreter; this
+# guards that those numbers actually landed in the committed report.
+echo "==> compiled-plan self-check (BENCH_trainstep.json)"
+grep -q '"plan_instrs"' BENCH_trainstep.json
+grep -q '"plan_slots"' BENCH_trainstep.json
+grep -q '"plan_pool_lookups_steady": 0' BENCH_trainstep.json
+grep -q '"plan_speedup_t1"' BENCH_trainstep.json
+grep -q '"plan_after_t1_ns"' BENCH_trainstep.json
+
 echo "verify: OK"
