@@ -39,6 +39,7 @@
 mod backward;
 mod graph;
 mod optim;
+pub mod verify;
 mod vm;
 
 pub mod gradcheck;

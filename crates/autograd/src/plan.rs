@@ -55,6 +55,8 @@ use crate::graph::{Graph, Op, Var};
 use crate::optim::{Optimizer, ParamStore, ParamVars};
 use crate::vm;
 
+pub use crate::verify;
+
 // ---------------------------------------------------------------------------
 // Global toggle
 // ---------------------------------------------------------------------------
@@ -169,7 +171,9 @@ pub enum OpCode {
 }
 
 impl OpCode {
-    const ALL: [OpCode; 43] = [
+    /// Every opcode, in declaration order. Public so the verifier, the parity
+    /// corpus and coverage tooling can enumerate the instruction set.
+    pub const ALL: [OpCode; 43] = [
         OpCode::ZipAdd,
         OpCode::ZipSub,
         OpCode::ZipMul,
@@ -215,7 +219,9 @@ impl OpCode {
         OpCode::Axpy,
     ];
 
-    fn name(self) -> &'static str {
+    /// Stable snake_case mnemonic used by the text serializer and
+    /// diagnostics.
+    pub fn name(self) -> &'static str {
         match self {
             OpCode::ZipAdd => "zip_add",
             OpCode::ZipSub => "zip_sub",
@@ -355,6 +361,18 @@ impl Plan {
         self.slot_caps.len()
     }
 
+    /// The flat instruction stream, in execution order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Runs the static dataflow verifier over this plan (see
+    /// [`verify::verify_plan`]). The compiler already verifies everything it
+    /// emits; this entry point is for plans deserialized from text.
+    pub fn verify(&self) -> Result<(), verify::VerifyError> {
+        verify::verify_plan(self)
+    }
+
     /// True for training plans (backward + updates), false for forward-only.
     pub fn is_train(&self) -> bool {
         self.loss_slot.is_some()
@@ -409,6 +427,9 @@ pub enum CompileError {
     TooManyInputs,
     /// The loss/output node did not lower to a slot-resident value.
     BadOutput,
+    /// The compiled plan failed the static dataflow verifier — a compiler
+    /// bug, not a property of the tape. See [`verify::verify_plan`].
+    Rejected(verify::VerifyError),
 }
 
 impl fmt::Display for CompileError {
@@ -428,6 +449,7 @@ impl fmt::Display for CompileError {
             CompileError::BadOutput => {
                 write!(f, "loss/output node did not lower to a slot value")
             }
+            CompileError::Rejected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -1397,6 +1419,46 @@ impl<'a> Emitter<'a> {
 }
 
 // ---------------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------------
+
+/// Drops instructions whose results are not transitively needed by any
+/// pinned sink (the loss, the update gradients, the output).
+///
+/// The forward emitter lowers *every* tape node, so a forward-only plan for a
+/// mid-tape output — or any tape with computed-but-unconsumed values — would
+/// otherwise carry dead kernels. Dead results are never read, so dropping
+/// them cannot change any live value: replay stays bitwise-equal to the
+/// interpreter while doing strictly less work. This sweep is also what makes
+/// the verifier's dead-instruction check an invariant of compiled plans
+/// rather than a heuristic.
+///
+/// Accumulator vregs are written by several instructions (`Fill`/`Copy` then
+/// `Axpy`s); a vreg marked needed keeps all of its writers, which is exactly
+/// right for read-modify-write accumulation.
+fn eliminate_dead(vinstrs: Vec<VInstr>, nv: usize, pinned: &[u32]) -> Vec<VInstr> {
+    let mut needed = vec![false; nv];
+    for &p in pinned {
+        needed[p as usize] = true;
+    }
+    let mut live = vec![false; vinstrs.len()];
+    for (ii, vi) in vinstrs.iter().enumerate().rev() {
+        if vi.outs.iter().any(|&o| needed[o as usize]) {
+            live[ii] = true;
+            for l in &vi.ins {
+                if let VLoc::V(r) = *l {
+                    needed[r as usize] = true;
+                }
+            }
+        }
+    }
+    let mut keep = live.into_iter();
+    let mut vinstrs = vinstrs;
+    vinstrs.retain(|_| keep.next().expect("one liveness flag per instruction"));
+    vinstrs
+}
+
+// ---------------------------------------------------------------------------
 // Liveness + slot allocation
 // ---------------------------------------------------------------------------
 
@@ -1407,11 +1469,21 @@ impl<'a> Emitter<'a> {
 /// operands are released, so a destination can never alias a same-instruction
 /// argument. `pinned` vregs (parameter gradients, the loss, the output) are
 /// never recycled.
+///
+/// Before returning, the assignment is checked against the virtual-register
+/// live intervals it was derived from ([`verify::check_intervals`]): no two
+/// vregs sharing a slot may have overlapping lifetimes. This is the one
+/// lifetime property the plan-level verifier cannot reconstruct, because at
+/// the slot level reads always attach to the most recent definition.
+/// Allocation result: the lowered instructions, per-slot capacities, and the
+/// vreg → slot map.
+type Allocation = (Vec<Instr>, Vec<usize>, Vec<u32>);
+
 fn allocate(
     vinstrs: &[VInstr],
     vnumel: &[usize],
     pinned: &[u32],
-) -> (Vec<Instr>, Vec<usize>, Vec<u32>) {
+) -> Result<Allocation, verify::VerifyError> {
     let nv = vnumel.len();
     let mut last = vec![0usize; nv];
     for (ii, vi) in vinstrs.iter().enumerate() {
@@ -1480,7 +1552,18 @@ fn allocate(
             free.entry(class(vnumel[r as usize])).or_default().push(slot_of[r as usize]);
         }
     }
-    (instrs, caps, slot_of)
+
+    let mut first_def = vec![None; nv];
+    for (ii, vi) in vinstrs.iter().enumerate() {
+        for &o in &vi.outs {
+            let oi = o as usize;
+            if first_def[oi].is_none() {
+                first_def[oi] = Some(ii);
+            }
+        }
+    }
+    verify::check_intervals(&slot_of, &first_def, &last)?;
+    Ok((instrs, caps, slot_of))
 }
 
 // ---------------------------------------------------------------------------
@@ -1538,7 +1621,14 @@ fn compile(
         pinned.push(ov);
     }
 
-    let (instrs, slot_caps, slot_of) = allocate(&em.instrs, &em.vnumel, &pinned);
+    let reject = |e: verify::VerifyError| {
+        focus_trace::counter_add("plan/verify_rejects", 1);
+        CompileError::Rejected(e)
+    };
+    let nv = em.vnumel.len();
+    let vinstrs = eliminate_dead(std::mem::take(&mut em.instrs), nv, &pinned);
+    let (instrs, slot_caps, slot_of) =
+        allocate(&vinstrs, &em.vnumel, &pinned).map_err(reject)?;
     let plan = Plan {
         instrs,
         slot_caps,
@@ -1557,6 +1647,10 @@ fn compile(
         loss_slot: loss_vreg.map(|v| slot_of[v as usize]),
         output: output_vreg.map(|(v, dims)| (slot_of[v as usize], dims)),
     };
+    // Static verification gates every compile: a plan that cannot be proven
+    // safe never reaches the cache, and the cost stays inside this
+    // `plan/compile` span — replay never pays it.
+    verify::verify_plan(&plan).map_err(reject)?;
     focus_trace::counter_set("plan/instrs", plan.instrs.len() as u64);
     focus_trace::counter_set("plan/slots", plan.slot_caps.len() as u64);
     Ok(plan)
@@ -1699,7 +1793,7 @@ impl Plan {
 
     /// Parses the `focus-plan v1` text format written by [`Plan::to_text`].
     pub fn from_text(text: &str) -> Result<Plan, PlanFormatError> {
-        let mut p = Parser { lines: text.lines().enumerate() };
+        let mut p = Parser { lines: text.lines().enumerate(), cur: 0 };
         p.expect_line(MAGIC)?;
         let (ln, toks) = p.next_tokens()?;
         let mode_train = match toks.as_slice() {
@@ -1841,13 +1935,19 @@ impl Plan {
 
 struct Parser<'a> {
     lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    /// Last line number handed out (1-based), so a truncated stream reports
+    /// the position where input ran out instead of a meaningless line 0.
+    cur: usize,
 }
 
 impl<'a> Parser<'a> {
     fn next_tokens(&mut self) -> Result<(usize, Vec<&'a str>), PlanFormatError> {
         match self.lines.next() {
-            Some((idx, line)) => Ok((idx + 1, line.split_whitespace().collect())),
-            None => Err(perr(0, "unexpected end of plan text")),
+            Some((idx, line)) => {
+                self.cur = idx + 1;
+                Ok((idx + 1, line.split_whitespace().collect()))
+            }
+            None => Err(perr(self.cur + 1, "unexpected end of plan text")),
         }
     }
 
@@ -1944,6 +2044,9 @@ enum CacheState {
 /// ([`set_enabled`]) are on.
 pub struct PlanCache {
     state: CacheState,
+    /// Why the cache went sticky-off, for reports and tests. `None` while
+    /// the cache can still make progress.
+    off_reason: Option<String>,
 }
 
 impl Default for PlanCache {
@@ -1954,7 +2057,7 @@ impl Default for PlanCache {
 
 impl PlanCache {
     pub fn new() -> PlanCache {
-        PlanCache { state: CacheState::Cold }
+        PlanCache { state: CacheState::Cold, off_reason: None }
     }
 
     /// True while the cache can still make progress (not sticky-off and the
@@ -1972,6 +2075,12 @@ impl PlanCache {
     /// True if the cache gave up for this run.
     pub fn is_off(&self) -> bool {
         matches!(self.state, CacheState::Off)
+    }
+
+    /// Why the cache went sticky-off (compile error, verifier rejection, or
+    /// a per-window-varying constant), if it did.
+    pub fn off_reason(&self) -> Option<&str> {
+        self.off_reason.as_deref()
     }
 
     /// State name for reports and tests.
@@ -2061,7 +2170,7 @@ impl PlanCache {
         }
         match compile_train(g, loss, pv, store, inputs, routes) {
             Ok(cand) => self.advance(cand),
-            Err(_) => self.state = CacheState::Off,
+            Err(e) => self.go_off(e.to_string()),
         }
     }
 
@@ -2081,8 +2190,13 @@ impl PlanCache {
         }
         match compile_forward(g, output, pv, store, inputs, routes) {
             Ok(cand) => self.advance(cand),
-            Err(_) => self.state = CacheState::Off,
+            Err(e) => self.go_off(e.to_string()),
         }
+    }
+
+    fn go_off(&mut self, reason: String) {
+        self.state = CacheState::Off;
+        self.off_reason = Some(reason);
     }
 
     fn advance(&mut self, cand: Plan) {
@@ -2099,6 +2213,8 @@ impl PlanCache {
                 } else {
                     // Same shapes, different contents: some baked constant
                     // varies per window. Replaying would be wrong; give up.
+                    self.off_reason =
+                        Some("a baked constant varies per window with unchanged shapes".into());
                     CacheState::Off
                 }
             }

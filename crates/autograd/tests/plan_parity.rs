@@ -14,7 +14,7 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use focus_autograd::plan::{self, Plan, PlanCache};
+use focus_autograd::plan::{self, OpCode, Plan, PlanCache};
 use focus_autograd::{Adam, Graph, Optimizer, ParamId, ParamStore, ParamVars, Sgd, Var};
 use focus_tensor::{par, Tensor};
 
@@ -442,4 +442,93 @@ fn plan_text_round_trip() {
     // Malformed input reports a 1-based line, not a panic.
     let err = Plan::from_text("not a plan\n").expect_err("bad magic must fail");
     assert_eq!(err.line, 1);
+}
+
+/// The parity corpus is the ground truth the `opcode-coverage` lint rule
+/// checks test coverage against: every opcode the compiler can emit must be
+/// exercised (and named) here, and the ones it structurally cannot emit are
+/// listed explicitly so a new opcode cannot slip in uncovered. The two lists
+/// must partition [`OpCode::ALL`] exactly.
+#[test]
+fn opcode_corpus_coverage_is_exhaustive() {
+    let _lock = guard();
+    focus_autograd::set_fused(true);
+    let model = init_model();
+    let (x, t, r) = sample(SEQ, 0);
+
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (loss, _) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+    let train =
+        plan::compile_train(&g, loss, &pv, &model.store, &[&x, &t], &[&r]).expect("compiles");
+    let mut g = Graph::new();
+    let pv = model.store.register(&mut g);
+    let (_, pred) = build_loss(&mut g, &pv, &model.ids, SEQ, &x, &t, &r);
+    let fwd =
+        plan::compile_forward(&g, pred, &pv, &model.store, &[&x, &t], &[&r]).expect("compiles");
+
+    /// Opcodes the corpus model's train + forward plans emit — today that is
+    /// the whole instruction set, and this list keeps it that way: adding an
+    /// `OpCode` variant fails the partition check below until the corpus
+    /// model is extended (or the gap is consciously recorded) here.
+    const EMITTED: &[OpCode] = &[
+        OpCode::ZipAdd,
+        OpCode::ZipSub,
+        OpCode::ZipMul,
+        OpCode::ZipReluBwd,
+        OpCode::ZipGeluBwd,
+        OpCode::ZipAbsBwd,
+        OpCode::ZipSigmoidBwd,
+        OpCode::ZipTanhBwd,
+        OpCode::MapScale,
+        OpCode::MapAddScalar,
+        OpCode::MapRelu,
+        OpCode::MapGelu,
+        OpCode::MapSigmoid,
+        OpCode::MapTanh,
+        OpCode::MapAbs,
+        OpCode::GemmNn,
+        OpCode::GemmNt,
+        OpCode::GemmTn,
+        OpCode::BmmNn,
+        OpCode::BmmNt,
+        OpCode::BmmTn,
+        OpCode::BcastNt,
+        OpCode::BcastNtDa,
+        OpCode::BcastNtDx,
+        OpCode::RouteGather,
+        OpCode::RouteScatter,
+        OpCode::AddRowBcast,
+        OpCode::BiasGrad,
+        OpCode::Softmax,
+        OpCode::SoftmaxBwd,
+        OpCode::LayerNormFwd,
+        OpCode::LayerNormBwd,
+        OpCode::Transpose2,
+        OpCode::TransposeLast2,
+        OpCode::Swap01,
+        OpCode::ConcatLast,
+        OpCode::SliceCols,
+        OpCode::ScatterCols,
+        OpCode::MeanAll,
+        OpCode::SumAll,
+        OpCode::Fill,
+        OpCode::Copy,
+        OpCode::Axpy,
+    ];
+    /// Opcodes the corpus cannot emit, with the structural reason.
+    const NOT_EMITTED: &[OpCode] = &[];
+
+    let mut partition: Vec<&str> =
+        EMITTED.iter().chain(NOT_EMITTED).map(|o| o.name()).collect();
+    partition.sort_unstable();
+    let mut all: Vec<&str> = OpCode::ALL.iter().map(|o| o.name()).collect();
+    all.sort_unstable();
+    assert_eq!(partition, all, "EMITTED and NOT_EMITTED must partition OpCode::ALL");
+
+    let used: std::collections::BTreeSet<&str> =
+        train.instrs().iter().chain(fwd.instrs()).map(|i| i.op.name()).collect();
+    let expected: std::collections::BTreeSet<&str> =
+        EMITTED.iter().map(|o| o.name()).collect();
+    assert_eq!(used, expected, "corpus plans drifted from the declared EMITTED set");
 }

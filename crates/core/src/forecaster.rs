@@ -424,6 +424,50 @@ mod tests {
     }
 
     #[test]
+    fn verifier_rejection_falls_back_to_interpreter_bitwise() {
+        use crate::model::{Focus, FocusConfig};
+        use focus_data::{Benchmark, MtsDataset};
+        let ds = MtsDataset::generate(Benchmark::Pems08.scaled(4, 1_200), 11);
+        let mut cfg = FocusConfig::new(48, 12);
+        cfg.segment_len = 8;
+        cfg.n_prototypes = 4;
+        cfg.d = 12;
+        cfg.cluster_iters = 4;
+        let opts = TrainOptions {
+            epochs: 2,
+            max_windows: 12,
+            ..Default::default()
+        };
+        // With the verifier failpoint armed, every compiled plan is rejected
+        // and the cache goes sticky-Off: training must complete on the
+        // interpreter, bitwise-equal to a run that never attempted plans.
+        // (With the failpoint up, both closures interpret regardless of the
+        // process-global enable toggle, so this holds under any test
+        // interleaving.)
+        focus_autograd::verify::set_fail_all(true);
+        let train = |plans: bool| {
+            focus_autograd::plan::set_enabled(plans);
+            let mut model = Focus::fit_offline(&ds, cfg.clone(), 3);
+            let report = model.train(&ds, &opts);
+            focus_autograd::plan::set_enabled(true);
+            (model.params().snapshot(), report.epoch_losses)
+        };
+        let (params_a, losses_a) = train(false);
+        let (params_b, losses_b) = train(true);
+        focus_autograd::verify::set_fail_all(false);
+        assert_eq!(losses_a, losses_b, "rejected-plan training must match the interpreter");
+        for (i, (a, b)) in params_a.iter().zip(&params_b).enumerate() {
+            let ba: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ba, bb, "param {i} diverged under verifier rejection");
+        }
+        assert!(
+            losses_a.last().expect("training ran") < &losses_a[0],
+            "fallback training still learns: {losses_a:?}"
+        );
+    }
+
+    #[test]
     fn normalise_target_guards_zero_std() {
         let stats = InstanceStats {
             means: vec![1.0],

@@ -1,0 +1,17 @@
+//! Opcode-coverage fixture: a toy instruction set whose serializer names
+//! every variant, while the sibling `vm.rs` fixture forgot `ZipSub` — the
+//! cross-file rule must flag the gap at the variant's declaration line.
+
+pub enum OpCode {
+    ZipAdd,
+    ZipSub,
+}
+
+impl OpCode {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::ZipAdd => "zip_add",
+            OpCode::ZipSub => "zip_sub",
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! VM-dispatch fixture with a deliberately incomplete match: `ZipSub` hides
+//! behind the catch-all arm, exactly the silent runtime fallback the
+//! `opcode-coverage` rule exists to surface.
+
+use super::plan::OpCode;
+
+pub fn dispatch(op: OpCode) -> &'static str {
+    match op {
+        OpCode::ZipAdd => "zip_add",
+        _ => "fallback",
+    }
+}

@@ -1,0 +1,12 @@
+//! Stale-allow fixture: a well-formed marker whose excused violation no
+//! longer exists (line 6), next to one that still earns its keep (line 11).
+
+pub fn refactored(a: f32) -> f32 {
+    // the exact comparison this marker excused was refactored away
+    // focus-lint: allow(float-hygiene) -- one-hot rows are exactly 0.0 by construction
+    a + 1.0
+}
+
+pub fn still_guarded(a: f32) -> bool {
+    a == 0.0 // focus-lint: allow(float-hygiene) -- one-hot rows are exactly 0.0 by construction
+}

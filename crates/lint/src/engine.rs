@@ -1,8 +1,23 @@
 //! The rule-engine plumbing: file classification, test-region masking,
 //! `// focus-lint: allow(..)` markers, the deterministic workspace walker,
 //! and diagnostic plumbing shared by every rule in [`crate::rules`].
+//!
+//! Since the two-pass upgrade the engine runs in two phases:
+//!
+//! 1. **Scan** ([`scan_source`]) — per file: lex, classify, run the per-file
+//!    rules, parse allow markers, and extract the *symbol facts* the
+//!    cross-file rules need (enum declarations, `Type::Variant` path pairs).
+//! 2. **Finish** ([`finish`]) — with every [`FileScan`] in hand: run the
+//!    cross-file rules over the workspace symbol index, apply allow-marker
+//!    suppression while tracking which grants actually fired, and report
+//!    grants that fired nothing as `stale-allow` findings.
+//!
+//! [`lint_source`] / [`lint_file`] keep the old single-file semantics (no
+//! cross-file rules, no staleness) for callers that look at one file in
+//! isolation; [`run_workspace`] is the two-pass entry the CLI uses.
 
 use crate::lexer::{self, Kind, Token};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// One diagnostic: `file:line: rule: message`.
@@ -194,9 +209,19 @@ pub struct Allows {
 impl Allows {
     /// Does a marker cover this (rule, line)?
     pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.index_of(rule, line).is_some()
+    }
+
+    /// Index of the grant covering this (rule, line) — pass 2 uses the index
+    /// to record that the grant earned its keep. A same-line (trailing)
+    /// marker wins over one on the line above, so two adjacent trailing
+    /// markers each claim their own finding instead of the first claiming
+    /// both and the second reading as stale.
+    fn index_of(&self, rule: &str, line: u32) -> Option<usize> {
         self.granted
             .iter()
-            .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+            .position(|(r, l)| r == rule && line == *l)
+            .or_else(|| self.granted.iter().position(|(r, l)| r == rule && line == *l + 1))
     }
 }
 
@@ -236,14 +261,190 @@ pub fn collect_allows(ctx: &FileCtx, tokens: &[Token], findings: &mut Vec<Findin
             continue;
         }
         for rule in rules_csv.split(',').map(str::trim) {
-            if crate::rules::RULES.contains(&rule) && rule != "allow-marker" {
-                granted.push((rule.to_string(), t.line));
-            } else {
+            if !crate::rules::RULES.contains(&rule) {
                 bad(format!("unknown rule `{rule}` in allow marker"));
+            } else if rule == "allow-marker" || rule == "stale-allow" {
+                // suppressing the marker-hygiene rules would be circular:
+                // a marker excusing its own malformedness or staleness
+                bad(format!("rule `{rule}` cannot be allow-marked"));
+            } else {
+                granted.push((rule.to_string(), t.line));
             }
         }
     }
     Allows { granted }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: per-file scan + symbol facts
+// ---------------------------------------------------------------------------
+
+/// Workspace symbol facts extracted during pass 1, the raw material of the
+/// cross-file rules: which enums a file declares (with per-variant lines for
+/// positioned diagnostics) and which `Type::Variant` paths it references.
+#[derive(Debug, Default)]
+pub struct SymbolFacts {
+    /// Enum declarations in this file.
+    pub enums: Vec<EnumDecl>,
+    /// `Upper::Upper` path pairs referenced anywhere in the file. Test
+    /// regions are included on purpose: the plan-parity corpus is a test,
+    /// and "the corpus exercises this opcode" is exactly the fact the
+    /// `opcode-coverage` rule consumes.
+    pub path_pairs: BTreeSet<(String, String)>,
+}
+
+/// One `enum` declaration: its name and each variant with its 1-based line.
+#[derive(Debug)]
+pub struct EnumDecl {
+    pub name: String,
+    pub variants: Vec<(String, u32)>,
+}
+
+fn starts_upper(t: &Token) -> bool {
+    t.kind == Kind::Ident && t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Extracts the symbol facts from a code view. Purely lexical, like the
+/// rules: enough to resolve "every `OpCode` variant appears in the VM
+/// dispatch" without a type checker.
+pub fn extract_facts(view: &CodeView<'_>) -> SymbolFacts {
+    let c = &view.code;
+    let mut facts = SymbolFacts::default();
+    for j in 0..c.len() {
+        if starts_upper(c[j])
+            && c.get(j + 1).is_some_and(|t| t.is_op("::"))
+            && c.get(j + 2).is_some_and(|t| starts_upper(t))
+        {
+            facts.path_pairs.insert((c[j].text.clone(), c[j + 2].text.clone()));
+        }
+        if c[j].is_ident("enum") && c.get(j + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            if let Some(decl) = parse_enum(c, j) {
+                facts.enums.push(decl);
+            }
+        }
+    }
+    facts
+}
+
+/// Parses the variant list of the `enum` whose keyword sits at `c[at]`.
+/// Variants are capitalised idents at body depth 1 in head position (after
+/// `{` or a depth-1 `,`); payloads, discriminants and variant attributes sit
+/// at deeper nesting or after the head and are skipped.
+fn parse_enum(c: &[&Token], at: usize) -> Option<EnumDecl> {
+    let name = c[at + 1].text.clone();
+    let mut j = at + 2;
+    // find the body's `{`, skipping generics; a `;` first means an opaque
+    // (or not actually a) declaration
+    loop {
+        let t = c.get(j)?;
+        if t.is_op("{") {
+            break;
+        }
+        if t.is_op(";") {
+            return None;
+        }
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut head = true;
+    for t in &c[j..] {
+        match t.text.as_str() {
+            "{" | "(" | "[" if t.kind == Kind::Op => depth += 1,
+            "}" | ")" | "]" if t.kind == Kind::Op => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if t.kind == Kind::Op && depth == 1 => head = true,
+            _ => {
+                if head && depth == 1 && starts_upper(t) {
+                    variants.push((t.text.clone(), t.line));
+                    head = false;
+                }
+            }
+        }
+    }
+    Some(EnumDecl { name, variants })
+}
+
+/// Pass-1 result for one file: classification, the *raw* (pre-suppression)
+/// findings, the parsed allow grants, and the symbol facts. [`finish`]
+/// consumes a batch of these.
+pub struct FileScan {
+    pub ctx: FileCtx,
+    raw: Vec<Finding>,
+    allows: Allows,
+    pub facts: SymbolFacts,
+}
+
+/// Pass 1 over one file's source text. Pure: no I/O.
+pub fn scan_source(ctx: FileCtx, src: &str) -> FileScan {
+    let tokens = lexer::lex(src);
+    let mut raw = Vec::new();
+    let allows = collect_allows(&ctx, &tokens, &mut raw);
+    let view = code_view(&tokens);
+    crate::rules::check(&ctx, &view, &mut raw);
+    let facts = extract_facts(&view);
+    FileScan { ctx, raw, allows, facts }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: cross-file rules, suppression accounting, staleness
+// ---------------------------------------------------------------------------
+
+/// Pass 2: runs the cross-file rules over the whole scan set, applies
+/// allow-marker suppression while tracking which grants fired, and turns
+/// grants that fired nothing into `stale-allow` findings — an unexplained
+/// suppression is a hole in the invariant, and a suppression excusing
+/// *nothing* is a stale license for the next regression. Returns the
+/// surviving findings, unsorted.
+pub fn finish(scans: Vec<FileScan>) -> Vec<Finding> {
+    let mut used: Vec<Vec<bool>> =
+        scans.iter().map(|s| vec![false; s.allows.granted.len()]).collect();
+    let mut findings = Vec::new();
+
+    // Cross-file findings pass through the target file's markers like any
+    // local finding: a consciously-uncovered enum variant can be allow-marked
+    // at its declaration line.
+    let mut cross = Vec::new();
+    crate::rules::cross_file(&scans, &mut cross);
+    for f in cross {
+        let grant = scans
+            .iter()
+            .position(|s| s.ctx.path == f.file)
+            .and_then(|i| scans[i].allows.index_of(f.rule, f.line).map(|g| (i, g)));
+        match grant {
+            Some((i, g)) => used[i][g] = true,
+            None => findings.push(f),
+        }
+    }
+
+    for (i, scan) in scans.iter().enumerate() {
+        for f in &scan.raw {
+            if f.rule != "allow-marker" {
+                if let Some(g) = scan.allows.index_of(f.rule, f.line) {
+                    used[i][g] = true;
+                    continue;
+                }
+            }
+            findings.push(f.clone());
+        }
+        for (g, (rule, line)) in scan.allows.granted.iter().enumerate() {
+            if !used[i][g] {
+                findings.push(Finding {
+                    file: scan.ctx.path.clone(),
+                    line: *line,
+                    rule: "stale-allow",
+                    message: format!(
+                        "allow({rule}) no longer suppresses anything: remove the marker or restore the reason it existed"
+                    ),
+                });
+            }
+        }
+    }
+    findings
 }
 
 /// Lints one file's source text. Pure: no I/O, so fixture tests and proptests
@@ -307,14 +508,49 @@ pub fn walk(paths: &[PathBuf]) -> Vec<PathBuf> {
     files
 }
 
-/// Lints every `.rs` file under `paths`; returns `(files_checked, findings)`
-/// with findings ordered by (file, line).
-pub fn run(paths: &[PathBuf]) -> (usize, Vec<Finding>) {
+/// Result of a two-pass workspace run. `io_errors` counts unreadable files
+/// (also reported as findings) — the CLI maps any to exit code 2, because an
+/// unreadable file is a broken run, not a finding-free one.
+pub struct RunResult {
+    pub files: usize,
+    pub findings: Vec<Finding>,
+    pub io_errors: usize,
+}
+
+/// Two-pass lint of every `.rs` file under `paths`: scan each file, then
+/// [`finish`] the batch (cross-file rules, suppression accounting,
+/// staleness). Findings are ordered by (file, line, rule).
+pub fn run_workspace(paths: &[PathBuf]) -> RunResult {
     let files = walk(paths);
+    let mut scans = Vec::new();
     let mut findings = Vec::new();
+    let mut io_errors = 0usize;
     for f in &files {
-        findings.extend(lint_file(f));
+        let ctx = FileCtx::from_path(f);
+        match std::fs::read_to_string(f) {
+            Ok(src) => scans.push(scan_source(ctx, &src)),
+            Err(e) => {
+                io_errors += 1;
+                findings.push(Finding {
+                    file: ctx.path,
+                    line: 1,
+                    rule: "allow-marker",
+                    message: format!("unreadable file: {e}"),
+                });
+            }
+        }
     }
-    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    (files.len(), findings)
+    findings.extend(finish(scans));
+    findings.sort_by(|a, b| {
+        a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(b.rule))
+    });
+    RunResult { files: files.len(), findings, io_errors }
+}
+
+/// Lints every `.rs` file under `paths`; returns `(files_checked, findings)`
+/// with findings ordered by (file, line). Thin wrapper over
+/// [`run_workspace`] for callers that don't care about I/O errors.
+pub fn run(paths: &[PathBuf]) -> (usize, Vec<Finding>) {
+    let r = run_workspace(paths);
+    (r.files, r.findings)
 }

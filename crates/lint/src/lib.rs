@@ -17,15 +17,30 @@
 //! * **unsafe-forbid** — `#![forbid(unsafe_code)]` in every crate root;
 //! * **allow-marker** — suppressions are well-formed:
 //!   `// focus-lint: allow(<rule>) -- <reason>`, reason mandatory;
-//! * **pool-bypass** *(advisory)* — float buffers in `tensor`/`autograd`
-//!   library code come from `focus_tensor::pool`, not `vec![0.0; n]` /
-//!   `Vec::<f32>::with_capacity`; printed but never fails the CLI, since the
-//!   zero-allocation invariant itself is enforced by the pool steady-state
-//!   regression test.
+//! * **stale-allow** — an allow marker that no longer suppresses any finding
+//!   is itself a finding: a stale license is cover for the next regression;
+//! * **opcode-coverage** — cross-file: every `Op`/`OpCode` variant must be
+//!   referenced in the backward emitter, the VM dispatch, the plan verifier,
+//!   the text serializer and the plan-parity test corpus, so a missing match
+//!   arm is flagged before it becomes a runtime fallback;
+//! * **pool-bypass** — float buffers in `tensor`/`autograd` library code
+//!   come from `focus_tensor::pool`, not `vec![0.0; n]` /
+//!   `Vec::<f32>::with_capacity`; enforced now that every deliberate heap
+//!   allocation carries an allow marker;
+//! * **graph-interpret** *(advisory)* — `.backward(` interpretation inside
+//!   the steady-state train loop is warmup/fallback only.
+//!
+//! The engine runs in two passes ([`engine::scan_source`] then
+//! [`engine::finish`]): pass 1 lints each file and extracts a workspace
+//! symbol index (enum declarations, `Type::Variant` references); pass 2 runs
+//! the cross-file rules over that index and audits every allow marker for
+//! staleness.
 //!
 //! Run it over the workspace with
 //! `cargo run -p focus-lint --release -- crates/ src/`; it prints
-//! `file:line: rule: message` diagnostics and exits nonzero on any finding.
+//! `file:line: rule: message` diagnostics (or a `focus-lint-report v1` JSON
+//! document under `--json`) and exits 0 when clean, 1 on enforced findings,
+//! 2 on internal errors (unknown flag, unreadable file).
 //! `scripts/verify.sh` runs exactly that, so tier-1 verification fails on
 //! regressions. Code inside strings, comments, `#[cfg(test)]` modules,
 //! `#[test]` functions, and `tests/`/`benches/`/`examples/` trees is exempt

@@ -1,38 +1,108 @@
 //! `focus-lint` CLI: lints the paths given as arguments (default: the
-//! current directory), prints `file:line: rule: message` diagnostics plus a
-//! rule/finding summary, and exits 1 if anything non-advisory was found
-//! (advisory rules — see [`focus_lint::rules::ADVISORY`] — print but never
-//! fail the run).
+//! current directory) with the two-pass engine, prints
+//! `file:line: rule: message` diagnostics plus a rule/finding summary (or a
+//! `focus-lint-report v1` JSON document under `--json`), and exits with
+//!
+//! * `0` — no enforced findings (advisory-only runs are clean),
+//! * `1` — at least one enforced finding,
+//! * `2` — internal error: unknown flag or an unreadable file.
+//!
+//! Advisory rules — see [`focus_lint::rules::ADVISORY`] — print (and appear
+//! in the JSON with `"advisory": true`) but never fail the run.
 
 #![forbid(unsafe_code)]
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Minimal JSON string escaping (the report has no nested structure beyond
+/// what the CLI prints itself, so a full serializer would be dead weight
+/// under the offline-shim policy).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
-    let mut paths: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            a if a.starts_with("--") => {
+                eprintln!("focus-lint: unknown flag `{a}` (supported: --json)");
+                return ExitCode::from(2);
+            }
+            a => paths.push(PathBuf::from(a)),
+        }
+    }
     if paths.is_empty() {
         paths.push(PathBuf::from("."));
     }
-    let (files, findings) = focus_lint::engine::run(&paths);
+    let r = focus_lint::engine::run_workspace(&paths);
     let advisory = |rule: &str| focus_lint::rules::ADVISORY.contains(&rule);
-    let hard = findings.iter().filter(|f| !advisory(f.rule)).count();
-    for f in &findings {
-        if advisory(f.rule) {
-            println!("{f} (advisory)");
-        } else {
-            println!("{f}");
+    let enforced = r.findings.iter().filter(|f| !advisory(f.rule)).count();
+
+    if json {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"focus-lint-report v1\",\"files\":{},\"enforced\":{},\"advisory\":{},\"io_errors\":{},\"findings\":[",
+            r.files,
+            enforced,
+            r.findings.len() - enforced,
+            r.io_errors
+        );
+        for (i, f) in r.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"advisory\":{},\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                advisory(f.rule),
+                json_escape(&f.message)
+            );
         }
+        s.push_str("]}");
+        println!("{s}");
+    } else {
+        for f in &r.findings {
+            if advisory(f.rule) {
+                println!("{f} (advisory)");
+            } else {
+                println!("{f}");
+            }
+        }
+        // counts in the summary line so verify.sh logs make regressions visible
+        println!(
+            "focus-lint: {} rules, {} findings ({} advisory) across {} files",
+            focus_lint::rules::RULES.len(),
+            r.findings.len(),
+            r.findings.len() - enforced,
+            r.files
+        );
     }
-    // counts in the summary line so verify.sh logs make regressions visible
-    println!(
-        "focus-lint: {} rules, {} findings ({} advisory) across {} files",
-        focus_lint::rules::RULES.len(),
-        findings.len(),
-        findings.len() - hard,
-        files
-    );
-    if hard == 0 {
+    if r.io_errors > 0 {
+        ExitCode::from(2)
+    } else if enforced == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

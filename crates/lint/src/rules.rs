@@ -15,32 +15,49 @@
 //! |                 | `.contains(&0.0)`) without an allow-marked reason          |
 //! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`         |
 //! | `allow-marker`  | suppressions themselves are well-formed and justified      |
-//! | `pool-bypass`   | *(advisory)* float buffers in `tensor`/`autograd` library  |
-//! |                 | code come from `focus_tensor::pool`, not the heap          |
+//! | `stale-allow`   | *(cross-pass)* an allow marker that no longer suppresses   |
+//! |                 | any finding is itself a finding: a stale license is cover  |
+//! |                 | for the next regression                                    |
+//! | `opcode-coverage`| *(cross-file)* every `Op`/`OpCode` variant appears in the |
+//! |                 | backward emitter, the VM dispatch, the verifier, the text  |
+//! |                 | serializer and the plan-parity corpus — a missing arm is   |
+//! |                 | flagged before it becomes a runtime fallback               |
+//! | `pool-bypass`   | float buffers in `tensor`/`autograd` library code come     |
+//! |                 | from `focus_tensor::pool`, not the heap; enforced now that |
+//! |                 | every reference-path site carries an allow marker          |
 //! | `graph-interpret`| *(advisory)* the steady-state training loop replays the   |
 //! |                 | compiled plan; `.backward(` interpretation sites there are |
-//! |                 | warmup/fallback only and carry an allow marker saying so   |
+//! |                 | warmup/fallback only and carry an allow marker saying so.  |
+//! |                 | Advisory because warmup interpretation is *correct by      |
+//! |                 | design* — the tape must be recorded before it can be       |
+//! |                 | compiled — so a new unmarked site is a docs problem, not a |
+//! |                 | correctness bug; the bitwise plan/interpreter parity is    |
+//! |                 | enforced end-to-end by the plan-parity suite               |
 
-use crate::engine::{CodeView, FileCtx, Finding};
+use crate::engine::{CodeView, FileCtx, FileScan, Finding};
 use crate::lexer::{Kind, Token};
 
 /// Every rule the engine knows, in reporting order. `allow-marker` findings
-/// are emitted by the marker parser in [`crate::engine::collect_allows`].
-pub const RULES: [&str; 7] = [
+/// are emitted by the marker parser in [`crate::engine::collect_allows`];
+/// `stale-allow` and `opcode-coverage` by the second pass
+/// ([`crate::engine::finish`]).
+pub const RULES: [&str; 9] = [
     "determinism",
     "panic-hygiene",
     "float-hygiene",
     "unsafe-forbid",
     "allow-marker",
+    "stale-allow",
+    "opcode-coverage",
     "pool-bypass",
     "graph-interpret",
 ];
 
-/// Advisory rules: their findings are printed but do not fail the CLI — the
-/// zero-allocation and plan-replay invariants are enforced end-to-end by the
-/// pool steady-state and plan-parity regression tests, so the lint only
-/// points at likely culprits.
-pub const ADVISORY: [&str; 2] = ["pool-bypass", "graph-interpret"];
+/// Advisory rules: their findings are printed but do not fail the CLI.
+/// `pool-bypass` graduated to enforced once every deliberate heap-allocation
+/// site carried an allow marker; `graph-interpret` stays advisory because
+/// warmup-phase interpretation is structurally required (see the rule table).
+pub const ADVISORY: [&str; 1] = ["graph-interpret"];
 
 /// Crates whose numeric paths underwrite the bitwise-determinism promise of
 /// PR 1; only these are in scope for the `determinism` rule.
@@ -320,6 +337,86 @@ fn graph_interpret(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
                 "graph interpretation in the steady-state train loop: replay the compiled plan, or allow-mark a warmup/fallback site".into(),
                 out,
             );
+        }
+    }
+}
+
+/// One cross-file coverage contract: every variant of `enum_name` (declared
+/// in the file whose path ends with `decl`) must be referenced as
+/// `Enum::Variant` in each of the `require`d files. Required files absent
+/// from the scan set are skipped — linting a subtree only checks the
+/// contracts visible inside it, which also lets fixtures model a single
+/// missing arm without replicating the whole workspace.
+struct CoverageTarget {
+    enum_name: &'static str,
+    decl: &'static str,
+    require: &'static [(&'static str, &'static str)],
+}
+
+/// The workspace's coverage contracts. `OpCode` is the VM instruction set:
+/// an unhandled variant in the dispatch or the verifier is a runtime panic,
+/// and one missing from the parity corpus is an untested kernel. `Op` is the
+/// tape node set: a variant the backward emitter or the plan compiler does
+/// not lower silently falls back to interpretation.
+const COVERAGE: [CoverageTarget; 2] = [
+    CoverageTarget {
+        enum_name: "OpCode",
+        decl: "crates/autograd/src/plan.rs",
+        require: &[
+            ("crates/autograd/src/plan.rs", "the text serializer"),
+            ("crates/autograd/src/vm.rs", "the VM dispatch"),
+            ("crates/autograd/src/verify.rs", "the verifier's kernel geometry"),
+            ("crates/autograd/tests/plan_parity.rs", "the plan-parity test corpus"),
+        ],
+    },
+    CoverageTarget {
+        enum_name: "Op",
+        decl: "crates/autograd/src/graph.rs",
+        require: &[
+            ("crates/autograd/src/backward.rs", "the backward emitter"),
+            ("crates/autograd/src/plan.rs", "the plan compiler's lowering"),
+        ],
+    },
+];
+
+/// Component-aligned path suffix match (`…/plan.rs` must not be matched by
+/// `myplan.rs`), tolerant of Windows separators.
+fn path_matches(path: &str, suffix: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.ends_with(suffix)
+        && (p.len() == suffix.len() || p.as_bytes()[p.len() - suffix.len() - 1] == b'/')
+}
+
+/// `opcode-coverage` (cross-file): runs over the whole scan set. Findings
+/// land at the variant's declaration line in the declaring file, so the fix
+/// site (extend the dispatch/corpus, or consciously allow-mark the variant)
+/// is one jump away.
+pub fn cross_file(scans: &[FileScan], findings: &mut Vec<Finding>) {
+    for tgt in &COVERAGE {
+        let Some(decl_scan) = scans.iter().find(|s| path_matches(&s.ctx.path, tgt.decl)) else {
+            continue;
+        };
+        let Some(decl) = decl_scan.facts.enums.iter().find(|e| e.name == tgt.enum_name) else {
+            continue;
+        };
+        for (suffix, role) in tgt.require {
+            let Some(req) = scans.iter().find(|s| path_matches(&s.ctx.path, suffix)) else {
+                continue;
+            };
+            for (variant, line) in &decl.variants {
+                let key = (tgt.enum_name.to_string(), variant.clone());
+                if !req.facts.path_pairs.contains(&key) {
+                    findings.push(Finding {
+                        file: decl_scan.ctx.path.clone(),
+                        line: *line,
+                        rule: "opcode-coverage",
+                        message: format!(
+                            "{}::{variant} is not referenced in {role} ({suffix}): a missing arm becomes a runtime fallback",
+                            tgt.enum_name
+                        ),
+                    });
+                }
+            }
         }
     }
 }

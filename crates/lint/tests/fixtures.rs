@@ -163,9 +163,37 @@ fn clean_fixtures_are_silent() {
 }
 
 #[test]
+fn stale_allow_fires_only_for_unused_grants() {
+    let (_, f) = run(&[fixture("crates/data/src/stale.rs")]);
+    assert_eq!(
+        hits(&f),
+        vec![("stale-allow", 6)],
+        "the line-6 marker suppresses nothing; the line-11 marker still earns its keep: {f:?}"
+    );
+}
+
+#[test]
+fn opcode_coverage_flags_the_variant_missing_from_the_dispatch() {
+    let (_, f) = run(&[fixture("crates/autograd")]);
+    assert_eq!(hits(&f), vec![("opcode-coverage", 7)], "ZipSub hides behind the catch-all: {f:?}");
+    let only = &f[0];
+    assert!(only.file.ends_with("plan.rs"), "finding lands at the declaration: {only}");
+    assert!(only.message.contains("OpCode::ZipSub"), "{only}");
+    assert!(only.message.contains("vm.rs"), "names the file missing the arm: {only}");
+}
+
+#[test]
+fn opcode_coverage_skips_absent_required_files() {
+    // Linting just the declaring file: every required sibling is outside the
+    // scan set, so the contract is vacuously met (subtree runs stay usable).
+    let (_, f) = run(&[fixture("crates/autograd/src/plan.rs")]);
+    assert!(f.is_empty(), "no required files in scope, no findings: {f:?}");
+}
+
+#[test]
 fn engine_run_walks_fixture_tree_deterministically() {
     let (files, findings) = run(&[fixture("crates")]);
-    assert_eq!(files, 13, "all fixture files reached");
+    assert_eq!(files, 16, "all fixture files reached");
     // one positive fixture per rule keeps the suite honest
     for rule in focus_lint::rules::RULES {
         assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");
@@ -191,26 +219,60 @@ fn binary_exit_codes_match_findings() {
         "crates/nn/src/float_hygiene.rs",
         "crates/badcrate/src/lib.rs",
         "crates/cluster/src/markers.rs",
+        // promoted from advisory: every deliberate heap allocation in the
+        // real workspace now carries an allow marker, so a bare one fails
+        "crates/tensor/src/pool_bypass.rs",
+        "crates/data/src/stale.rs",
     ] {
         let out = status(fixture(dirty));
         assert_eq!(out.status.code(), Some(1), "{dirty} must fail the lint");
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("7 rules"), "summary line present: {stdout}");
+        assert!(stdout.contains("9 rules"), "summary line present: {stdout}");
     }
     let out = status(fixture("crates/goodcrate"));
     assert_eq!(out.status.code(), Some(0), "clean tree must pass");
 
     // advisory findings print but never fail the run
-    for (dirty, rule) in [
-        ("crates/tensor/src/pool_bypass.rs", "pool-bypass"),
-        ("crates/core/src/forecaster.rs", "graph-interpret"),
-    ] {
-        let out = status(fixture(dirty));
-        assert_eq!(out.status.code(), Some(0), "{rule} is advisory, exit stays 0");
-        let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains(rule), "advisory findings still print: {stdout}");
-        assert!(stdout.contains("(advisory)"), "advisory findings are labelled: {stdout}");
-    }
+    let out = status(fixture("crates/core/src/forecaster.rs"));
+    assert_eq!(out.status.code(), Some(0), "graph-interpret is advisory, exit stays 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph-interpret"), "advisory findings still print: {stdout}");
+    assert!(stdout.contains("(advisory)"), "advisory findings are labelled: {stdout}");
+}
+
+/// `--json` emits the machine-readable report with the same exit-code
+/// contract, and an unknown flag is an internal error (exit 2), not a silent
+/// success CI would wave through.
+#[test]
+fn json_mode_and_exit_code_contract() {
+    let bin = env!("CARGO_BIN_EXE_focus-lint");
+    let run_args = |args: &[&str]| {
+        Command::new(bin).args(args).output().expect("focus-lint binary runs")
+    };
+
+    let clean = fixture("crates/goodcrate");
+    let out = run_args(&["--json", clean.to_str().expect("utf-8 fixture path")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\":\"focus-lint-report v1\""), "{stdout}");
+    assert!(stdout.contains("\"findings\":[]"), "clean tree, empty findings: {stdout}");
+    assert!(stdout.contains("\"io_errors\":0"), "{stdout}");
+
+    let dirty = fixture("crates/nn/src/float_hygiene.rs");
+    let out = run_args(&["--json", dirty.to_str().expect("utf-8 fixture path")]);
+    assert_eq!(out.status.code(), Some(1), "enforced findings fail in JSON mode too");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\":\"float-hygiene\""), "{stdout}");
+    assert!(stdout.contains("\"advisory\":false"), "{stdout}");
+
+    let adv = fixture("crates/core/src/forecaster.rs");
+    let out = run_args(&["--json", adv.to_str().expect("utf-8 fixture path")]);
+    assert_eq!(out.status.code(), Some(0), "advisory-only stays clean in JSON mode");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"advisory\":true"), "{stdout}");
+
+    let out = run_args(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is an internal error");
 }
 
 /// The real workspace stays lint-clean: this is the same invariant

@@ -17,7 +17,13 @@
 //! [`counter_add`] / [`counter_set`] maintain named `u64` counters (GEMM
 //! calls by shape class, segments assigned, routing decisions, pool traffic,
 //! FLOPs estimates). Like spans they are keyed by static names and ordered
-//! deterministically (`BTreeMap`).
+//! deterministically (`BTreeMap`). The plan compiler's static verifier
+//! reports through this registry too: the `plan/verify` span times each
+//! verification pass, `plan/verify_dead` records how many dead instructions
+//! the last verified plan carried (always 0 for compiler output, which runs
+//! DCE first), and `plan/verify_rejects` counts plans the verifier refused —
+//! a nonzero value means the plan cache tripped its sticky interpreter
+//! fallback.
 //!
 //! # Disabled cost
 //!

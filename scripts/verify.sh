@@ -21,11 +21,21 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Static-analysis pass: determinism / panic-hygiene / float-hygiene /
-# unsafe-forbid invariants (see DESIGN.md §10). The tool prints its rule and
-# finding counts so regressions are visible in CI logs, and exits nonzero on
-# any finding.
+# unsafe-forbid invariants plus the cross-file stale-allow and
+# opcode-coverage rules (see DESIGN.md §10, §14). The tool prints its rule
+# and finding counts so regressions are visible in CI logs, and exits
+# nonzero on any enforced finding.
 echo "==> focus-lint crates/ src/"
 cargo run -q -p focus-lint --release -- crates/ src/
+
+# Machine-readable lint report: the --json mode is what CI dashboards
+# consume, so verify that the schema line and a clean result actually come
+# out of the same run the human-readable pass just made.
+echo "==> focus-lint --json crates/ src/"
+cargo run -q -p focus-lint --release -- --json crates/ src/ | tee /tmp/focus-lint-report.json
+grep -q '"schema":"focus-lint-report v1"' /tmp/focus-lint-report.json
+grep -q '"enforced":0' /tmp/focus-lint-report.json
+grep -q '"io_errors":0' /tmp/focus-lint-report.json
 
 # The lint's own fixture suite: every rule (including the workspace-wide
 # clock ban and its single crates/trace/src/clock.rs exemption) must keep
