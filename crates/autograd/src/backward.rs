@@ -196,17 +196,18 @@ impl Graph {
                         if fused_on {
                             // gᵦᵀ·a written straight into the batched output:
                             // the same zero-initialised gemm_tn chain as the
-                            // reference's temporary-then-copy.
-                            for b in 0..bsz {
-                                focus_tensor::raw::gemm_tn(
-                                    l,
-                                    k,
-                                    d,
-                                    &g.data()[b * k * l..(b + 1) * k * l],
-                                    aval.data(),
-                                    &mut dx.data_mut()[b * l * d..(b + 1) * l * d],
-                                );
-                            }
+                            // reference's temporary-then-copy. Delegates to
+                            // the plan VM's slice mirror, which parallelises
+                            // over the disjoint per-batch outputs.
+                            focus_tensor::exec::bcast_nt_dx(
+                                g.data(),
+                                aval.data(),
+                                bsz,
+                                k,
+                                l,
+                                d,
+                                dx.data_mut(),
+                            );
                         } else {
                             for b in 0..bsz {
                                 let gb = g.index_axis0(b); // [k, l]

@@ -282,6 +282,8 @@ mod tests {
                 g.grad(h).expect("head is a trainable leaf").data().to_vec(),
             )
         };
+        // Serialise the process-global thread override against other tests.
+        let _g = par::threads_guard();
         par::set_threads(1);
         let (fwd_ref, grad_ref) = run(false);
         for threads in [1usize, 2, 4] {

@@ -180,6 +180,11 @@ fn main() {
     for s in &routing {
         s.to_report(&mut report);
     }
+    // Record the worker pool's dispatch stats (par/*) for the whole sweep.
+    focus_trace::set_enabled(true);
+    par::publish_trace_stats();
+    focus_trace::set_enabled(false);
+    report.capture_trace();
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_assign.json");
     match report.write(path) {

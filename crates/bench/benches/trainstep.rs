@@ -194,9 +194,10 @@ fn sweep_threads() -> Vec<usize> {
 }
 
 /// Runs `TRACE_STEPS` traced steps on a fresh harness, returning the span
-/// structure signature and the thread-invariant counters (the `pool/`
-/// counters depend on which thread first touched each size class, so they
-/// are excluded from cross-thread equality).
+/// structure signature and the thread-invariant counters (the `pool/` and
+/// `par/` counters legitimately depend on the worker-thread count — pool on
+/// which thread first touched each size class, par on how many dispatches
+/// fanned out — so both prefixes are excluded from cross-thread equality).
 fn traced_run() -> (String, Vec<(&'static str, u64)>) {
     let mut h = Harness::new();
     focus_trace::set_enabled(true);
@@ -207,7 +208,7 @@ fn traced_run() -> (String, Vec<(&'static str, u64)>) {
     let signature = focus_trace::structure_signature(&focus_trace::snapshot_spans());
     let counters: Vec<(&'static str, u64)> = focus_trace::snapshot_counters()
         .into_iter()
-        .filter(|(name, _)| !name.starts_with("pool/"))
+        .filter(|(name, _)| !name.starts_with("pool/") && !name.starts_with("par/"))
         .collect();
     focus_trace::set_enabled(false);
     (signature, counters)
@@ -261,6 +262,7 @@ fn main() {
     let mut plan1_ns = f64::INFINITY;
     let mut fresh_total = 0u64;
     let mut plan_fresh = 0u64;
+    let spawns0 = par::spawn_count();
     for _ in 0..ROUNDS {
         set_mode(false);
         before_ns = before_ns.min(before_h.block_ns());
@@ -282,6 +284,15 @@ fn main() {
     assert_eq!(
         plan_fresh, 0,
         "steady-state plan replay must not allocate fresh pool buffers ({plan_fresh} over {steady_steps} steps)"
+    );
+    // Pool-reuse twin of the zero-allocation contract: once the harnesses
+    // are warm, the measured rounds (2 × 60 steps — interpreted + replay)
+    // must never spawn an OS thread. On a 1-core host this is the scaling
+    // acceptance check (the thread sweep below is oversubscribed there).
+    let steady_spawns = par::spawn_count() - spawns0;
+    assert_eq!(
+        steady_spawns, 0,
+        "steady-state training must reuse pool workers, not spawn ({steady_spawns} spawns over {steady_steps} steps)"
     );
     println!("before (no pool, reference kernels, 1 thread): {}", fmt_ms(before_ns));
     println!(
@@ -321,6 +332,9 @@ fn main() {
         for _ in 0..3 {
             h.step();
         }
+        // Warmup primed the pool for `t` threads; the measured rounds must
+        // reuse those workers, never spawn more.
+        let t_spawns0 = par::spawn_count();
         let mut best = f64::INFINITY;
         let mut plan_best = f64::INFINITY;
         pool::set_steady(true);
@@ -329,9 +343,35 @@ fn main() {
             plan_best = plan_best.min(plan_h.plan_block_ns());
         }
         pool::set_steady(false);
+        let t_spawns = par::spawn_count() - t_spawns0;
+        assert_eq!(t_spawns, 0, "steady rounds at {t} threads spawned {t_spawns} workers");
         after.push((t, best, plan_best, oversubscribed));
         println!("after  (pool + fused, {t} threads): {}{tag}", fmt_ms(best));
         println!("plan   (compiled replay, {t} threads): {}{tag}", fmt_ms(plan_best));
+    }
+
+    // ---- scaling efficiency ---------------------------------------------
+    // speedup(t) = t1/tN; efficiency(t) = speedup(t)/t. On a genuinely
+    // multicore host the 2-thread point must not regress below the
+    // single-thread time (the pre-pool design was *slower* with threads);
+    // oversubscribed rows measure scheduler contention, not kernel scaling,
+    // so they are recorded but never gated on.
+    for &(t, ns, _, oversubscribed) in &after {
+        if t == 1 {
+            continue;
+        }
+        let speedup = after1_ns / ns;
+        let efficiency = speedup / t as f64;
+        let tag = if oversubscribed { "  [oversubscribed]" } else { "" };
+        println!("scaling: t{t} speedup {speedup:.2}x, efficiency {:.0}%{tag}", efficiency * 100.0);
+        if t == 2 && !oversubscribed {
+            assert!(
+                ns <= after1_ns * 1.02,
+                "2-thread steps must not be slower than 1-thread (t1 {} vs t2 {})",
+                fmt_ms(after1_ns),
+                fmt_ms(ns)
+            );
+        }
     }
 
     // ---- trace contract: bitwise neutrality ------------------------------
@@ -484,17 +524,25 @@ fn main() {
         .metric("plan_pool_lookups_steady", plan_lookups as f64)
         .metric("trace_calls_per_step", calls_per_step as f64)
         .metric("disabled_trace_overhead_ns", overhead_ns)
-        .metric("disabled_trace_overhead_frac", overhead_frac);
+        .metric("disabled_trace_overhead_frac", overhead_frac)
+        .metric("steady_state_spawns", steady_spawns as f64);
     for &(t, ns, plan_ns, oversubscribed) in &after {
         report.metric(&format!("after_t{t}_ns"), ns);
         report.metric(&format!("plan_after_t{t}_ns"), plan_ns);
+        if t > 1 {
+            let speedup = after1_ns / ns;
+            report.metric(&format!("speedup_t{t}"), speedup);
+            report.metric(&format!("scaling_efficiency_t{t}"), speedup / t as f64);
+        }
         if oversubscribed {
             report.setting(&format!("oversubscribed_t{t}"), "true");
         }
     }
-    // Fold the pool's steady-state stats into the captured counters.
+    // Fold the pool's and worker pool's steady-state stats into the
+    // captured counters (pool/* buffer-pool gauges, par/* dispatch stats).
     focus_trace::set_enabled(true);
     pool::publish_trace_stats();
+    par::publish_trace_stats();
     focus_trace::set_enabled(false);
     report.capture_trace();
 

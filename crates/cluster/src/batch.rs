@@ -340,6 +340,9 @@ mod tests {
 
     #[test]
     fn assign_batched_is_thread_count_invariant() {
+        // `set_threads` is process-global: serialise against any other test
+        // in this binary that sweeps the override.
+        let _g = par::threads_guard();
         let (segs, centers, obj) = random_case(257, 6, 16, 0.2, 11);
         let cache = CenterCache::new(&centers, &obj);
         par::set_threads(1);

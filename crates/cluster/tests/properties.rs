@@ -103,6 +103,8 @@ proptest! {
         // (900 segments is past the sweep's parallel grain, so threads > 1
         // genuinely engage.)
         let cfg = ClusterConfig::new(5, 6).with_max_iters(4);
+        // Serialise the process-global thread override against other tests.
+        let _g = focus_tensor::par::threads_guard();
         focus_tensor::par::set_threads(1);
         let protos_serial = cfg.fit(&segs, seed);
         let serial: Vec<usize> = (0..segs.dims()[0]).map(|i| protos_serial.assign(segs.row(i))).collect();

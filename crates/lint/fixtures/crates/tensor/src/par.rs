@@ -1,5 +1,6 @@
 // Mirror of the real `crates/tensor/src/par.rs` exemption: this file (and
-// only this file) may spawn threads, so the lint must stay silent here.
+// only this file) may spawn threads and carry `unsafe` pool internals, so
+// the lint must stay silent here.
 
 pub fn parallel_for(n: usize) {
     std::thread::scope(|s| {
@@ -12,4 +13,10 @@ pub fn parallel_for(n: usize) {
 pub fn detached() {
     let h = std::thread::spawn(|| 1 + 1);
     let _ = h.join();
+}
+
+#[allow(unsafe_code)]
+pub fn island(v: &[u32]) -> u32 {
+    // SAFETY: fixture mirror of the audited pool internals.
+    unsafe { *v.as_ptr() }
 }

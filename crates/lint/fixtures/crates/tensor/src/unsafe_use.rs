@@ -1,0 +1,11 @@
+// Seeded violations: `unsafe` tokens in a tensor module that is not the
+// audited `par.rs` island must be flagged even though the crate root's
+// `deny(unsafe_code)` would accept an item-level allow.
+
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}
+
+pub unsafe fn raw_len(v: &[u32]) -> usize {
+    v.len()
+}

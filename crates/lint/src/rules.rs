@@ -13,7 +13,11 @@
 //! |                 | `panic!`, `todo!`, `unimplemented!`, or empty `.expect("")`|
 //! | `float-hygiene` | no `==`/`!=` against float literals (and no                |
 //! |                 | `.contains(&0.0)`) without an allow-marked reason          |
-//! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`         |
+//! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`; the    |
+//! |                 | `tensor` root may carry `#![deny(unsafe_code)]` instead,   |
+//! |                 | because the worker pool in `crates/tensor/src/par.rs` is   |
+//! |                 | the one audited `unsafe` island — an `unsafe` token in any |
+//! |                 | other non-test file is flagged                             |
 //! | `allow-marker`  | suppressions themselves are well-formed and justified      |
 //! | `stale-allow`   | *(cross-pass)* an allow marker that no longer suppresses   |
 //! |                 | any finding is itself a finding: a stale license is cover  |
@@ -75,6 +79,9 @@ pub fn check(ctx: &FileCtx, view: &CodeView<'_>, findings: &mut Vec<Finding>) {
     if ctx.is_test_path {
         // integration tests / benches / examples: hygiene rules do not apply
         return;
+    }
+    if !ctx.is_par_module {
+        unsafe_island(ctx, view, findings);
     }
     panic_hygiene(ctx, view, findings);
     float_hygiene(ctx, view, findings);
@@ -421,28 +428,58 @@ pub fn cross_file(scans: &[FileScan], findings: &mut Vec<Finding>) {
     }
 }
 
-/// `unsafe-forbid`: the crate root must carry `#![forbid(unsafe_code)]`, so
-/// the workspace's no-`unsafe` status quo is a compile error to regress, not
-/// a convention.
+/// `unsafe-forbid`, crate-root half: the root must carry
+/// `#![forbid(unsafe_code)]`, so the workspace's no-`unsafe` status quo is a
+/// compile error to regress, not a convention. The `tensor` root alone may
+/// carry `#![deny(unsafe_code)]` instead: the persistent worker pool in
+/// `crates/tensor/src/par.rs` needs item-level `#[allow(unsafe_code)]`
+/// opt-ins, which `forbid` would reject. `deny` there is still a hard error
+/// everywhere an item does not explicitly opt in — and [`unsafe_island`]
+/// flags any opt-in outside `par.rs` — so removing the pool restores `forbid`
+/// with no lint change.
 fn unsafe_forbid(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
     let c = &view.code;
-    let found = c.windows(8).any(|w| {
-        w[0].is_op("#")
-            && w[1].is_op("!")
-            && w[2].is_op("[")
-            && w[3].is_ident("forbid")
-            && w[4].is_op("(")
-            && w[5].is_ident("unsafe_code")
-            && w[6].is_op(")")
-            && w[7].is_op("]")
-    });
-    if !found {
-        emit(
-            ctx,
-            "unsafe-forbid",
-            1,
-            "crate root missing #![forbid(unsafe_code)]".into(),
-            out,
-        );
+    let attr = |lint: &str| {
+        c.windows(8).any(|w| {
+            w[0].is_op("#")
+                && w[1].is_op("!")
+                && w[2].is_op("[")
+                && w[3].is_ident(lint)
+                && w[4].is_op("(")
+                && w[5].is_ident("unsafe_code")
+                && w[6].is_op(")")
+                && w[7].is_op("]")
+        })
+    };
+    if attr("forbid") {
+        return;
+    }
+    if ctx.crate_name == "tensor" && attr("deny") {
+        return;
+    }
+    let wanted = if ctx.crate_name == "tensor" {
+        "#![forbid(unsafe_code)] or #![deny(unsafe_code)]"
+    } else {
+        "#![forbid(unsafe_code)]"
+    };
+    emit(ctx, "unsafe-forbid", 1, format!("crate root missing {wanted}"), out);
+}
+
+/// `unsafe-forbid`, token half: an `unsafe` keyword in any non-test file
+/// other than the audited worker-pool island (`crates/tensor/src/par.rs`) is
+/// a finding. Item-level `#[allow(unsafe_code)]` escapes the compiler's
+/// `deny`, so the lint keeps the island's boundary honest.
+fn unsafe_island(ctx: &FileCtx, view: &CodeView<'_>, out: &mut Vec<Finding>) {
+    for (_, t) in live(view) {
+        if t.is_ident("unsafe") {
+            emit(
+                ctx,
+                "unsafe-forbid",
+                t.line,
+                "`unsafe` outside the audited worker-pool island (crates/tensor/src/par.rs)"
+                    .into(),
+                out,
+            );
+        }
     }
 }

@@ -60,9 +60,27 @@ fn clock_module_is_exempt_from_clock_rule() {
 }
 
 #[test]
-fn par_module_is_exempt_from_thread_rule() {
+fn par_module_is_exempt_from_thread_and_unsafe_rules() {
     let f = lint_file(&fixture("crates/tensor/src/par.rs"));
-    assert!(f.is_empty(), "par.rs must be allowed to spawn: {f:?}");
+    assert!(f.is_empty(), "par.rs must be allowed to spawn and use unsafe: {f:?}");
+}
+
+#[test]
+fn unsafe_tokens_are_flagged_outside_the_par_island() {
+    let f = lint_file(&fixture("crates/tensor/src/unsafe_use.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            ("unsafe-forbid", 6), // unsafe block
+            ("unsafe-forbid", 9), // unsafe fn
+        ]
+    );
+}
+
+#[test]
+fn tensor_root_may_deny_instead_of_forbid() {
+    let f = lint_file(&fixture("crates/tensor/src/lib.rs"));
+    assert!(f.is_empty(), "tensor root with #![deny(unsafe_code)] is the pool carve-out: {f:?}");
 }
 
 #[test]
@@ -193,7 +211,7 @@ fn opcode_coverage_skips_absent_required_files() {
 #[test]
 fn engine_run_walks_fixture_tree_deterministically() {
     let (files, findings) = run(&[fixture("crates")]);
-    assert_eq!(files, 16, "all fixture files reached");
+    assert_eq!(files, 18, "all fixture files reached");
     // one positive fixture per rule keeps the suite honest
     for rule in focus_lint::rules::RULES {
         assert!(findings.iter().any(|f| f.rule == rule), "no fixture finding for rule {rule}");
@@ -218,6 +236,7 @@ fn binary_exit_codes_match_findings() {
         "crates/cluster/src/panic_hygiene.rs",
         "crates/nn/src/float_hygiene.rs",
         "crates/badcrate/src/lib.rs",
+        "crates/tensor/src/unsafe_use.rs",
         "crates/cluster/src/markers.rs",
         // promoted from advisory: every deliberate heap allocation in the
         // real workspace now carries an allow marker, so a bare one fails

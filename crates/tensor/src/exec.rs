@@ -435,20 +435,29 @@ pub fn bcast_nt_da(
 
 /// Broadcast-NT backward for the batched RHS: `dx[b] = g[b]ᵀ·a` written into
 /// zeroed per-batch slices (the autograd rule's exact `gemm_tn` chain).
+///
+/// Unlike the `da` reduction above, every batch writes a disjoint `dx` slice,
+/// so the sweep parallelises over batches with the dispatcher's MAC grain:
+/// each batch's GEMM is the identical serial kernel regardless of which
+/// thread runs it, keeping the gradient bitwise-stable at any thread count.
 pub fn bcast_nt_dx(g: &[f32], a: &[f32], bsz: usize, k: usize, l: usize, d: usize, dx: &mut [f32]) {
     debug_assert_eq!(a.len(), k * d);
     debug_assert_eq!(dx.len(), bsz * l * d);
     dx.fill(0.0);
-    for b in 0..bsz {
-        raw::gemm_tn(
-            l,
-            k,
-            d,
-            &g[b * k * l..(b + 1) * k * l],
-            a,
-            &mut dx[b * l * d..(b + 1) * l * d],
-        );
+    if l * d == 0 {
+        return;
     }
+    let per_batch_macs = l * k * d;
+    let batch_grain = matmul::PAR_GRAIN_MACS.div_ceil(per_batch_macs.max(1)).max(1);
+    par::parallel_rows(dx, l * d, batch_grain, 1, |b0, chunk| {
+        for (off, out) in chunk.chunks_exact_mut(l * d).enumerate() {
+            let b = b0 + off;
+            // Each batch runs the shared dispatcher exactly as the serial
+            // loop did; a nested parallel attempt inside a worker degrades
+            // to the same serial partition, so the bits cannot move.
+            raw::gemm_tn(l, k, d, &g[b * k * l..(b + 1) * k * l], a, out);
+        }
+    });
 }
 
 /// Sum over the flat elements with an f64 accumulator (mirror of

@@ -132,6 +132,9 @@ pub(crate) fn layer_norm_fwd_into(
         cache,
         2,
         grain_rows,
+        // Block starts aligned to the 4-row interleave below, so no parallel
+        // split can land a boundary mid-quad.
+        4,
         |row0, block, cblock| {
             // The mean/variance reductions are serial ascending-j chains
             // (reassociation would change bits), so a single row is bound by
@@ -326,6 +329,8 @@ pub(crate) fn layer_norm_bwd_into(
         dbeta,
         1,
         col_grain,
+        // Column-parallel: single-element "rows", no tiling to respect.
+        1,
         |col0, gchunk, bchunk| {
             // Row-major sweep with the output chunks as accumulators: each
             // column still sums rows in ascending order (bitwise-equal to the

@@ -11,9 +11,9 @@
 //!    Pearson bounds) are covered by property-based tests.
 //! 2. **Predictable performance** — kernels avoid per-element allocation,
 //!    matmul is cache-blocked and register-tiled with a serial `i-k-j`
-//!    reference kept as ground truth, large ops run on a scoped thread pool
-//!    ([`par`]) with bitwise-identical results at any thread count, and all
-//!    shapes are validated once up front.
+//!    reference kept as ground truth, large ops run on a persistent worker
+//!    pool ([`par`]) with bitwise-identical results at any thread count, and
+//!    all shapes are validated once up front.
 //! 3. **Small surface** — only the operations the forecaster needs. This is
 //!    not a general array library.
 //!
@@ -32,7 +32,12 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool in [`par`] needs a
+// small audited `unsafe` island (type-erased borrowed jobs, rayon-style) and
+// opts in item-by-item with `#[allow(unsafe_code)]` + SAFETY comments. Every
+// other module stays unsafe-free; focus-lint flags `unsafe` tokens anywhere
+// outside `par.rs`.
+#![deny(unsafe_code)]
 
 mod matmul;
 mod ops;

@@ -37,8 +37,10 @@ const KC: usize = 256;
 const TILE_MIN_MACS: usize = 16 * 16 * 16;
 /// Below this many multiply–accumulates the kernel stays single-threaded.
 const PAR_MIN_MACS: usize = 64 * 64 * 64;
-/// Minimum multiply–accumulates each worker thread should receive.
-const PAR_GRAIN_MACS: usize = 32 * 64 * 64;
+/// Minimum multiply–accumulates each worker thread should receive. Shared
+/// with the batched backward sweeps in [`crate::exec`] so they split batches
+/// on the same per-thread work target as the dispatcher.
+pub(crate) const PAR_GRAIN_MACS: usize = 32 * 64 * 64;
 
 pub mod reference {
     //! Naive serial kernels: the arithmetic ground truth.
@@ -475,12 +477,38 @@ pub mod raw {
         b: &[f32],
         c: &mut [f32],
     ) {
-        use super::{Kind, NR, SMALL_STAGE};
+        use super::{Kind, NR, PAR_GRAIN_MACS, PAR_MIN_MACS, SMALL_STAGE};
         focus_trace::counter_add("gemm/nt_bcast", 1);
         assert_eq!(a.len(), m * k, "gemm_nt_bcast lhs length");
         assert_eq!(b.len(), bt * n * k, "gemm_nt_bcast rhs length");
         assert_eq!(c.len(), bt * m * n, "gemm_nt_bcast out length");
-        if n < NR && m * k * n > 0 && m * NR <= SMALL_STAGE && crate::fused::enabled() {
+        let per_batch_macs = m * k * n;
+        let small = n < NR && per_batch_macs > 0 && m * NR <= SMALL_STAGE && crate::fused::enabled();
+        let batch_grain = PAR_GRAIN_MACS.div_ceil(per_batch_macs.max(1)).max(1);
+        if small && bt * per_batch_macs >= PAR_MIN_MACS && bt >= 2 * batch_grain {
+            // Batch-parallel sweep, mirroring `bmm_dispatch`: batches are
+            // independent, each worker shares one panel + staging tile
+            // across its block. Scratch is fully overwritten before use
+            // (that is why the serial sweep can share it too), so per-worker
+            // scratch leaves every output bit unchanged.
+            super::par::parallel_rows(c, m * n, batch_grain, 1, |b0, chunk| {
+                let mut panel = [0.0f32; super::KC * NR];
+                let mut stage = [0.0f32; SMALL_STAGE];
+                for (off, out) in chunk.chunks_exact_mut(m * n).enumerate() {
+                    let bi = b0 + off;
+                    super::gemm_nt_small_rows(
+                        0,
+                        k,
+                        n,
+                        a,
+                        &b[bi * n * k..(bi + 1) * n * k],
+                        out,
+                        &mut panel,
+                        &mut stage,
+                    );
+                }
+            });
+        } else if small {
             let mut panel = [0.0f32; super::KC * NR];
             let mut stage = [0.0f32; SMALL_STAGE];
             for bi in 0..bt {

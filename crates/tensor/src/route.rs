@@ -144,6 +144,9 @@ mod tests {
 
     #[test]
     fn kernels_are_bitwise_identical_across_thread_counts() {
+        // The override is process-global; the guard keeps the par/pool tests
+        // in this binary from observing our sweep (and vice versa).
+        let _g = par::threads_guard();
         let (b, l, k, d) = (4, 64, 8, 16);
         let (head, indices) = fixture(b, l, k, d, 4);
         let mut rng = StdRng::seed_from_u64(5);

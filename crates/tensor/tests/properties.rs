@@ -138,12 +138,9 @@ proptest! {
 
 /// Serialises tests that flip the process-global [`par::set_threads`]
 /// override, so one test's thread sweep can't disturb another's baseline.
-static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
+/// Shares the crate-wide guard so the policy lives in one place.
 fn lock_threads() -> std::sync::MutexGuard<'static, ()> {
-    THREAD_OVERRIDE_LOCK
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    par::threads_guard()
 }
 
 /// Builds `[m, k]` test data whose entries include exact zeros (so the

@@ -17,6 +17,12 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Pinned two-thread leg: every kernel dispatch crosses the worker pool
+# instead of inlining, so barrier/determinism regressions that a 1-core
+# default run would never exercise fail here.
+echo "==> FOCUS_THREADS=2 cargo test --workspace -q"
+FOCUS_THREADS=2 cargo test --workspace -q
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -69,5 +75,14 @@ grep -q '"plan_slots"' BENCH_trainstep.json
 grep -q '"plan_pool_lookups_steady": 0' BENCH_trainstep.json
 grep -q '"plan_speedup_t1"' BENCH_trainstep.json
 grep -q '"plan_after_t1_ns"' BENCH_trainstep.json
+
+# Worker-pool self-check: steady-state training must have spawned zero OS
+# threads (the bench asserts it; this guards that the report recorded it)
+# and the pool's dispatch counters must have landed in the captured trace.
+echo "==> worker-pool self-check (BENCH_trainstep.json)"
+grep -q '"steady_state_spawns": 0' BENCH_trainstep.json
+grep -q '"par/spawns"' BENCH_trainstep.json
+grep -q '"par/parallel"' BENCH_trainstep.json
+grep -q '"scaling_efficiency_t2"' BENCH_trainstep.json
 
 echo "verify: OK"
